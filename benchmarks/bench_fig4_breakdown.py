@@ -1,0 +1,65 @@
+"""E5 - Paper Fig. 4: time breakdown (SNAP / MPI Comm / Other).
+
+The paper's pies at full machine: 95/4/1 (20B atoms), 86/12/2 (1B),
+60/35/5 (100M).  The model must reproduce the trend - communication
+share grows as the per-GPU atom count shrinks - and land within a few
+points of each pie.  A measured in-process breakdown from the
+instrumented drivers accompanies it.
+"""
+
+import pytest
+
+from repro.md import Simulation
+from repro.parallel import DistributedSimulation
+from repro.perfmodel import PAPER, breakdown
+from repro.potentials import SNAPPotential
+from repro.core import SNAPParams
+from repro.structures import lattice_system
+
+CASES = [19_683_000_000, 1_024_192_512, 102_503_232]
+
+
+def test_breakdown_model(benchmark, report):
+    benchmark.pedantic(breakdown, args=("summit", CASES[0], 4650),
+                       rounds=1, iterations=1)
+    report("Paper Fig. 4: full-machine time breakdown (4650 nodes)")
+    report(f"{'atoms':>15s} {'SNAP':>12s} {'MPI Comm':>12s} {'Other':>12s}")
+    for natoms in CASES:
+        got = breakdown("summit", natoms, 4650)
+        want = PAPER["breakdown"][natoms]
+        report(f"{natoms:15,d} "
+               f"{got['SNAP']*100:5.0f}% ({want['SNAP']*100:3.0f}%) "
+               f"{got['MPI Comm']*100:5.0f}% ({want['MPI Comm']*100:3.0f}%) "
+               f"{got['Other']*100:5.0f}% ({want['Other']*100:3.0f}%)")
+        assert got["SNAP"] == pytest.approx(want["SNAP"], abs=0.07)
+        assert got["MPI Comm"] == pytest.approx(want["MPI Comm"], abs=0.07)
+    report("(model vs paper in parentheses)")
+
+    # the trend the figure exists to show
+    fracs = [breakdown("summit", n, 4650)["MPI Comm"] for n in CASES]
+    assert fracs[0] < fracs[1] < fracs[2]
+
+
+def test_breakdown_measured_inprocess(benchmark, report, rng):
+    """Measured phase fractions from the instrumented distributed driver
+    (SNAP force time dominates at MD-realistic atom counts even in the
+    interpreted kernel)."""
+    params = SNAPParams(twojmax=4, rcut=2.4, chunk=8192)
+    import numpy as np
+
+    pot = SNAPPotential(params, beta=rng.normal(
+        size=SNAPPotential(params).snap.index.ncoeff))
+    s = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
+    s.seed_velocities(300.0, rng=rng)
+    dsim = DistributedSimulation(s, pot, nranks=2, dt=5e-4)
+    out = benchmark.pedantic(dsim.run, args=(2,), rounds=1, iterations=1)
+    fr = out["phase_fractions"]
+    report("")
+    report("measured in-process breakdown (216-atom SNAP 2J=4, 2 ranks):")
+    for k in sorted(fr):
+        report(f"  {k:8s} {fr[k]*100:6.1f}%")
+    assert fr["force"] > 0.5  # force-dominated, like the paper's big runs
+
+
+def test_breakdown_benchmark(benchmark):
+    benchmark(breakdown, "summit", CASES[1], 4650)

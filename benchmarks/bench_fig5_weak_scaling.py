@@ -1,0 +1,50 @@
+"""E6 - Paper Fig. 5: weak scaling at 373,248 atoms/node.
+
+Claims reproduced: near-perfect weak scaling (90% parallel efficiency
+at 4096 nodes vs 1 node), the small dip between 8 and 64 nodes from the
+18-node rack boundary, and the corollary that the full machine delivers
+~1 ns/day at this loading (0.5 fs production timestep).
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import PAPER, md_performance, weak_scaling
+
+APN = PAPER["weak_scaling"]["atoms_per_node"]
+NODES = [1, 2, 4, 8, 16, 32, 64, 128, 512, 1024, 2048, 4096]
+
+
+def test_weak_scaling_curve(benchmark, report):
+    ws = benchmark.pedantic(weak_scaling, args=("summit", APN, NODES),
+                            rounds=1, iterations=1)
+    report(f"Paper Fig. 5: weak scaling at {APN:,} atoms/node")
+    report(f"{'nodes':>6s} {'Matom-steps/node-s':>20s}")
+    for n, p in zip(ws["nodes"], ws["matom_steps_node_s"]):
+        report(f"{n:6d} {p:20.2f}")
+    eff = ws["matom_steps_node_s"][-1] / ws["matom_steps_node_s"][0]
+    report(f"parallel efficiency 4096 vs 1: {eff:.2f} (paper: 0.90)")
+    assert eff == pytest.approx(PAPER["weak_scaling"]["efficiency_4096_vs_1"],
+                                abs=0.04)
+
+    # the 8 -> 64 node inter-rack dip
+    r = dict(zip(ws["nodes"], ws["matom_steps_node_s"]))
+    assert r[64] < r[8]
+    # flat thereafter (near-perfect weak scaling)
+    tail = [r[n] for n in (64, 128, 512, 1024, 2048, 4096)]
+    assert np.ptp(tail) / np.mean(tail) < 0.02
+
+
+def test_one_ns_per_day(benchmark, report):
+    rate = benchmark.pedantic(md_performance, args=("summit", APN * 4650, 4650),
+                              rounds=1, iterations=1)
+    steps_per_s = rate * 4650 / (APN * 4650)
+    ns_day = steps_per_s * 86400 * 0.5e-6
+    report("")
+    report(f"production rate at full machine: {ns_day:.2f} ns/day "
+           f"(paper: ~{PAPER['weak_scaling']['rate_at_full_machine_ns_per_day']:.0f})")
+    assert ns_day == pytest.approx(1.0, rel=0.35)
+
+
+def test_weak_scaling_benchmark(benchmark):
+    benchmark(weak_scaling, "summit", APN, NODES)

@@ -1,0 +1,78 @@
+"""E7 - Paper Fig. 6: the 1.02B-atom benchmark across four machines.
+
+Shape claims: Summit ~52x Frontera per node; Selene ~1.9x Summit per
+node; Perlmutter ~ Summit parity per node despite two fewer GPUs; the
+quoted 20B-atom runs on Selene (12.72 Matom-steps/node-s, 11.14 PFLOPS)
+and Perlmutter (6.42, 11.24 PFLOPS).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flops import PAPER_FLOPS_PER_ATOM_STEP
+from repro.perfmodel import MACHINES, PAPER, md_performance, pflops, strong_scaling
+
+N1B = 1_024_192_512
+N20B = 19_683_000_000
+
+
+def test_machine_comparison(benchmark, report):
+    benchmark.pedantic(md_performance, args=("summit", N1B, 256),
+                       rounds=1, iterations=1)
+    report("Paper Fig. 6: 1,024,192,512-atom strong scaling by machine")
+    node_sweep = {"summit": [64, 256, 1024, 4650],
+                  "frontera": [512, 1024, 4096, 8008],
+                  "selene": [64, 128, 256, 560],
+                  "perlmutter": [128, 256, 512, 1536]}
+    for m, nodes in node_sweep.items():
+        sweep = strong_scaling(m, N1B, nodes)
+        row = " ".join(f"{n}:{p:.2f}" for n, p in
+                       zip(sweep["nodes"], sweep["matom_steps_node_s"]))
+        report(f"{MACHINES[m].name:12s} {row}  Matom-steps/node-s")
+
+    ratios = {
+        "Summit/Frontera": (md_performance("summit", N1B, 256)
+                            / md_performance("frontera", N1B, 256),
+                            PAPER["machines"]["summit_over_frontera_per_node"]),
+        "Selene/Summit": (md_performance("selene", N1B, 256)
+                          / md_performance("summit", N1B, 256),
+                          PAPER["machines"]["selene_over_summit_per_node"]),
+    }
+    report("")
+    report(f"{'per-node ratio':18s} {'model':>8s} {'paper':>8s}")
+    for k, (got, want) in ratios.items():
+        report(f"{k:18s} {got:8.1f} {want:8.1f}")
+        assert got == pytest.approx(want, rel=0.12)
+
+
+def test_quoted_20b_runs(benchmark, report):
+    benchmark.pedantic(pflops, args=("selene", N20B, 512, PAPER_FLOPS_PER_ATOM_STEP),
+                       rounds=1, iterations=1)
+    sel = md_performance("selene", N20B, 512) / 1e6
+    sel_pf = pflops("selene", N20B, 512, PAPER_FLOPS_PER_ATOM_STEP)
+    per = md_performance("perlmutter", N20B, 1024) / 1e6
+    per_pf = pflops("perlmutter", N20B, 1024, PAPER_FLOPS_PER_ATOM_STEP)
+    report("")
+    report("quoted 20B-atom runs:")
+    report(f"  Selene 512 nodes:      {sel:6.2f} Matom (paper 12.72), "
+           f"{sel_pf:6.2f} PFLOPS (paper 11.14)")
+    report(f"  Perlmutter 1024 nodes: {per:6.2f} Matom (paper  6.42), "
+           f"{per_pf:6.2f} PFLOPS (paper 11.24)")
+    assert sel == pytest.approx(12.72, rel=0.06)
+    assert per == pytest.approx(6.42, rel=0.06)
+    assert sel_pf == pytest.approx(11.14, rel=0.08)
+    assert per_pf == pytest.approx(11.24, rel=0.08)
+
+
+def test_ordering_at_common_scale(benchmark):
+    benchmark.pedantic(md_performance, args=("frontera", N1B, 256),
+                       rounds=1, iterations=1)
+    """Selene > Perlmutter ~ Summit >> Frontera per node (the figure's
+    visual ordering)."""
+    perf = {m: md_performance(m, N1B, 256) for m in MACHINES}
+    assert perf["selene"] > perf["perlmutter"] > 0.8 * perf["summit"]
+    assert perf["summit"] > 20 * perf["frontera"]
+
+
+def test_machines_benchmark(benchmark):
+    benchmark(md_performance, "summit", N1B, 256)

@@ -1,0 +1,71 @@
+"""E9/E10 - Section 7 headline numbers.
+
+* 20-billion-atom run on 4,650 nodes (27,900 GPUs): 6.21
+  Matom-steps/node-s = 1.47 steps/s.
+* 50.0 PFLOPS double precision = 24.9% of Summit's theoretical peak.
+* 22.9x faster than the DeepMD record (0.271 Matom-steps/node-s).
+* 1 ns/day sustained for the 1B-atom production run (E10).
+"""
+
+import pytest
+
+from repro.core.flops import PAPER_FLOPS_PER_ATOM_STEP, flops_per_atom_step
+from repro.perfmodel import MACHINES, PAPER, md_performance, pflops, step_time
+
+N20B = 19_683_000_000
+NODES = 4650
+
+
+def test_headline_numbers(benchmark, report):
+    benchmark.pedantic(pflops, args=("summit", N20B, NODES, PAPER_FLOPS_PER_ATOM_STEP),
+                       rounds=1, iterations=1)
+    h = PAPER["headline"]
+    perf = md_performance("summit", N20B, NODES) / 1e6
+    sps = 1.0 / step_time("summit", N20B, NODES).total
+    pf = pflops("summit", N20B, NODES, PAPER_FLOPS_PER_ATOM_STEP)
+    frac = pf * 1e15 / (NODES * MACHINES["summit"].peak_flops_node)
+    speedup = perf / h["deepmd_matom_steps_node_s"]
+
+    report("Section 7 headline numbers (20B atoms, 4650 Summit nodes):")
+    report(f"{'quantity':34s} {'model':>10s} {'paper':>10s}")
+    rows = [
+        ("MD performance [Matom/node-s]", perf, h["md_performance_matom_steps_node_s"]),
+        ("timesteps per second", sps, h["steps_per_s_20b"]),
+        ("sustained PFLOPS (fp64)", pf, h["peak_pflops"]),
+        ("fraction of theoretical peak", frac, h["fraction_of_peak"]),
+        ("speedup vs DeepMD", speedup, h["speedup_vs_deepmd"]),
+    ]
+    for name, got, want in rows:
+        report(f"{name:34s} {got:10.3f} {want:10.3f}")
+
+    assert perf == pytest.approx(6.21, rel=0.03)
+    assert sps == pytest.approx(1.47, rel=0.03)
+    assert pf == pytest.approx(50.0, rel=0.03)
+    assert frac == pytest.approx(0.249, rel=0.05)
+    assert speedup == pytest.approx(22.9, rel=0.05)
+
+
+def test_flop_accounting(benchmark, report):
+    per_atom = benchmark.pedantic(flops_per_atom_step, args=(8, 26),
+                                  rounds=1, iterations=1)
+    report("")
+    report(f"FLOPs per atom-step (2J=8, 26 nbrs): {per_atom / 1e6:.2f} M "
+           f"(paper-implied: {PAPER_FLOPS_PER_ATOM_STEP / 1e6:.2f} M)")
+    assert per_atom == pytest.approx(PAPER_FLOPS_PER_ATOM_STEP)
+
+
+def test_production_sustained(benchmark, report):
+    benchmark.pedantic(md_performance,
+                       args=("summit", PAPER["production"]["natoms"], NODES),
+                       rounds=1, iterations=1)
+    """E10: 1B atoms on 4650 nodes for 24 h samples ~1 ns."""
+    n1b = PAPER["production"]["natoms"]
+    rate = md_performance("summit", n1b, NODES)
+    steps_per_s = rate * NODES / n1b
+    ns = steps_per_s * 86400 * 0.5e-6
+    report(f"sustained production: {ns:.2f} ns / 24 h (paper: 1.0)")
+    assert ns == pytest.approx(1.0, rel=0.35)
+
+
+def test_headline_benchmark(benchmark):
+    benchmark(md_performance, "summit", N20B, NODES)

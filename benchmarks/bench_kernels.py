@@ -1,0 +1,70 @@
+"""E11 - per-stage grind time of the SNAP force kernel (measured).
+
+The paper's complexity table per atom: compute_ui O(J^3 N_nbor),
+compute_yi O(J^7), compute_dui/deidrj O(J^3 N_nbor).  We measure the
+stage split of the production NumPy kernel across 2J and check the
+scaling trends it implies (yi grows fastest with J; pair kernels scale
+with neighbor count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SNAP, SNAPParams
+from repro.core.flops import kernel_flops_per_atom
+from repro.md import build_pairs
+from repro.structures import random_packed
+
+
+def _problem(twojmax, natoms=128, density=0.1, seed=5):
+    s = random_packed(natoms, density=density, seed=seed)
+    rcut = (26 / (4 / 3 * np.pi * density)) ** (1 / 3)
+    params = SNAPParams(twojmax=twojmax, rcut=rcut, chunk=8192)
+    snap = SNAP(params, beta=np.random.default_rng(0).normal(
+        size=SNAP(params).index.ncoeff))
+    return snap, natoms, build_pairs(s.positions, s.box, rcut)
+
+
+def test_stage_breakdown(benchmark, report):
+    snap0, n0, nbr0 = _problem(4)
+    benchmark.pedantic(snap0.compute, args=(n0, nbr0), rounds=1, iterations=1)
+    report("measured SNAP kernel stage split (128 atoms, ~26 neighbors):")
+    report(f"{'2J':>4s} {'ui':>10s} {'yi':>10s} {'dui+dei':>10s} "
+           f"{'total ms/atom':>14s}")
+    stage_by_tj = {}
+    for tj in (4, 6, 8):
+        snap, n, nbr = _problem(tj)
+        snap.compute(n, nbr)
+        t = snap.last_timings
+        total = sum(t.values())
+        stage_by_tj[tj] = t
+        report(f"{tj:4d} {t['compute_ui']/total*100:9.1f}% "
+               f"{t['compute_yi']/total*100:9.1f}% "
+               f"{t['compute_dui_deidrj']/total*100:9.1f}% "
+               f"{total/n*1e3:14.2f}")
+    # yi share grows with J (O(J^7) vs O(J^3 N) pair kernels)
+    share = {tj: t["compute_yi"] / sum(t.values()) for tj, t in stage_by_tj.items()}
+    assert share[8] > share[4]
+
+
+def test_flops_model_matches_stage_trends(benchmark, report):
+    benchmark.pedantic(kernel_flops_per_atom, args=(8, 26), rounds=1, iterations=1)
+    k8 = kernel_flops_per_atom(8, 26)
+    k4 = kernel_flops_per_atom(4, 26)
+    report("")
+    report("FLOP model per atom-step (26 neighbors):")
+    for tj, k in ((4, k4), (8, k8)):
+        report(f"  2J={tj}: " + ", ".join(f"{n}={v/1e3:.1f}K" for n, v in k.items()))
+    assert k8["yi"] / k4["yi"] > k8["ui"] / k4["ui"]
+
+
+@pytest.mark.parametrize("tj", [4, 8])
+def test_kernel_benchmark(benchmark, tj):
+    snap, n, nbr = _problem(tj)
+    benchmark.pedantic(snap.compute, args=(n, nbr), rounds=2, iterations=1)
+
+
+def test_descriptor_only_benchmark(benchmark):
+    snap, n, nbr = _problem(6)
+    benchmark.pedantic(snap.compute_descriptors, args=(n, nbr),
+                       rounds=2, iterations=1)

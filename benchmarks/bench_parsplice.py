@@ -1,0 +1,86 @@
+"""E12 (extension) - ParSplice benchmark tables (easy and hard cases).
+
+The lecture's nanoparticle campaigns: at 300 K (rare events) ParSplice
+achieves near-linear scaling with 99% of generated segments spliced; as
+temperature rises, transitions multiply, new states appear, and the
+speedup collapses toward plain MD.  We reproduce both regimes on a
+superbasin landscape and print the same columns the tables report.
+"""
+
+import pytest
+
+from repro.parsplice import arrhenius_msm, nanoparticle_landscape, run_parsplice
+
+NWORKERS = 32
+QUANTA = 30
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return nanoparticle_landscape(n_basins=40, states_per_basin=8, seed=2)
+
+
+def _campaign(landscape, temperature, seed=0):
+    e, b = landscape
+    msm = arrhenius_msm(e, b, temperature=temperature)
+    return run_parsplice(msm, nworkers=NWORKERS, quanta=QUANTA,
+                         t_segment=0.2, seed=seed)
+
+
+def test_easy_case(benchmark, landscape, report):
+    run = benchmark.pedantic(_campaign, args=(landscape, 300.0),
+                             rounds=1, iterations=1)
+    report(f"ParSplice easy case (300 K, {NWORKERS} workers x {QUANTA} quanta):")
+    report(f"  trajectory length   {run.trajectory_time:10.1f} ps")
+    report(f"  generated segments  {run.generated_time:10.1f} ps")
+    report(f"  spliced fraction    {run.spliced_fraction * 100:9.0f}%")
+    report(f"  transitions         {run.n_transitions:10d}")
+    report(f"  speedup             {run.speedup:9.1f}x")
+    # lecture: 99% of generated segments were spliced at 300 K
+    assert run.spliced_fraction > 0.95
+    assert run.speedup > 0.9 * NWORKERS
+
+
+def test_hard_cases_table(benchmark, landscape, report):
+    benchmark.pedantic(_campaign, args=(landscape, 6000.0), rounds=1, iterations=1)
+    report("")
+    report("ParSplice hard cases (rising temperature):")
+    report(f"{'T (K)':>7s} {'traj (ps)':>10s} {'#trans':>8s} {'#states':>8s} "
+           f"{'spliced':>8s} {'speedup':>8s}")
+    speedups = []
+    for temp in (300, 700, 1500, 3000, 6000):
+        run = _campaign(landscape, float(temp), seed=temp)
+        speedups.append(run.speedup)
+        report(f"{temp:7d} {run.trajectory_time:10.1f} {run.n_transitions:8d} "
+               f"{run.n_states_visited:8d} {run.spliced_fraction*100:7.0f}% "
+               f"{run.speedup:7.1f}x")
+    # monotone-ish collapse: hottest case clearly below the coldest
+    assert speedups[-1] < 0.7 * speedups[0]
+    # reduces toward plain MD but never below it
+    assert all(s >= 1.0 for s in speedups)
+
+
+def test_speedup_grows_with_workers(benchmark, landscape, report):
+    e0, b0 = landscape
+    benchmark.pedantic(run_parsplice,
+                       args=(arrhenius_msm(e0, b0, temperature=300.0),),
+                       kwargs=dict(nworkers=4, quanta=5, t_segment=0.2, seed=9),
+                       rounds=1, iterations=1)
+    e, b = landscape
+    msm = arrhenius_msm(e, b, temperature=300.0)
+    rows = []
+    for nw in (4, 16, 64):
+        run = run_parsplice(msm, nworkers=nw, quanta=15, t_segment=0.2, seed=1)
+        rows.append((nw, run.speedup))
+    report("")
+    report("worker scaling at 300 K: " +
+           ", ".join(f"{nw}w -> {s:.1f}x" for nw, s in rows))
+    assert rows[0][1] < rows[1][1] < rows[2][1]
+
+
+def test_parsplice_benchmark(benchmark, landscape):
+    e, b = landscape
+    msm = arrhenius_msm(e, b, temperature=700.0)
+    benchmark.pedantic(run_parsplice, args=(msm,),
+                       kwargs=dict(nworkers=16, quanta=10, t_segment=0.2, seed=3),
+                       rounds=2, iterations=1)

@@ -1,0 +1,46 @@
+"""Benchmark-harness plumbing.
+
+Each bench registers a human-readable paper-vs-reproduced table through
+the ``report`` fixture; everything is printed in one block at the end of
+the pytest session so `pytest benchmarks/ --benchmark-only` shows the
+reproduction tables alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+_REPORTS: dict[str, list[str]] = {}
+
+
+@pytest.fixture
+def report(request):
+    """Returns ``add(line)`` collecting lines under the test's module."""
+    name = request.module.__name__
+
+    def add(line: str = "") -> None:
+        _REPORTS.setdefault(name, []).append(line)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction tables")
+    for module in sorted(_REPORTS):
+        tr.write_line("")
+        tr.write_line(f"=== {module} ===")
+        for line in _REPORTS[module]:
+            tr.write_line(line)
+
+
+def fmt_row(cols, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2021)

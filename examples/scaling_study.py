@@ -1,0 +1,67 @@
+"""Regenerate every scaling figure of the paper as text tables.
+
+The performance-model equivalent of the paper's evaluation section:
+strong scaling (Fig. 3), time breakdown (Fig. 4), weak scaling (Fig. 5),
+machine comparison (Fig. 6) and the headline numbers (Sec. 7), each next
+to the paper-reported values.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core.flops import PAPER_FLOPS_PER_ATOM_STEP
+from repro.perfmodel import (MACHINES, PAPER, breakdown, md_performance,
+                             parallel_efficiency, pflops, strong_scaling,
+                             weak_scaling)
+
+N20B = 19_683_000_000
+N1B = 1_024_192_512
+
+
+def main() -> None:
+    print("=== Fig. 3: strong scaling on Summit ===")
+    nodes = [64, 256, 972, 2048, 4650]
+    print(f"{'atoms':>15s}  " + "".join(f"{n:>9d}" for n in nodes))
+    for natoms in PAPER["strong_scaling_sizes"]:
+        sweep = strong_scaling("summit", natoms, nodes)
+        print(f"{natoms:15,d}  " + "".join(
+            f"{p:9.2f}" for p in sweep["matom_steps_node_s"]))
+    print("efficiencies: "
+          f"20B {parallel_efficiency('summit', N20B, 4650, 972):.2f} "
+          "(paper 0.97), "
+          f"1B {parallel_efficiency('summit', N1B, 4650, 64):.2f} "
+          "(paper 0.82)")
+
+    print("\n=== Fig. 4: time breakdown at 4650 nodes ===")
+    for natoms, want in PAPER["breakdown"].items():
+        got = breakdown("summit", natoms, 4650)
+        print(f"{natoms:15,d}  " + "  ".join(
+            f"{k} {got[k] * 100:4.0f}% (paper {want[k] * 100:.0f}%)"
+            for k in ("SNAP", "MPI Comm", "Other")))
+
+    print("\n=== Fig. 5: weak scaling, 373,248 atoms/node ===")
+    ws = weak_scaling("summit", 373_248, [1, 8, 64, 512, 4096])
+    for n, p in zip(ws["nodes"], ws["matom_steps_node_s"]):
+        print(f"  {n:5d} nodes: {p:5.2f} Matom-steps/node-s")
+    print(f"  efficiency 4096 vs 1: "
+          f"{ws['matom_steps_node_s'][-1] / ws['matom_steps_node_s'][0]:.2f} "
+          "(paper 0.90)")
+
+    print("\n=== Fig. 6: machines, 1.02B-atom sample ===")
+    for name in MACHINES:
+        p = md_performance(name, N1B, 256) / 1e6
+        print(f"  {MACHINES[name].name:12s} {p:7.2f} Matom-steps/node-s")
+
+    print("\n=== Sec. 7 headline ===")
+    perf = md_performance("summit", N20B, 4650) / 1e6
+    pf = pflops("summit", N20B, 4650, PAPER_FLOPS_PER_ATOM_STEP)
+    print(f"  20B atoms / 4650 nodes: {perf:.2f} Matom-steps/node-s "
+          "(paper 6.21)")
+    print(f"  {pf:.1f} PFLOPS = "
+          f"{pf * 1e15 / (4650 * MACHINES['summit'].peak_flops_node) * 100:.1f}% "
+          "of peak (paper 50.0 / 24.9%)")
+    print(f"  vs DeepMD: {perf / PAPER['headline']['deepmd_matom_steps_node_s']:.1f}x "
+          "(paper 22.9x)")
+
+
+if __name__ == "__main__":
+    main()

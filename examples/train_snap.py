@@ -1,0 +1,61 @@
+"""FitSNAP-style training workflow with held-out validation.
+
+Demonstrates the training machinery behind every SNAP model: descriptor
+evaluation, energy+force design matrix, the weighted least-squares
+solve, and honest validation against configurations the fit never saw.
+
+Run:  python examples/train_snap.py
+"""
+
+import numpy as np
+
+from repro.core import SNAPParams
+from repro.md import build_pairs
+from repro.potentials import StillingerWeber
+from repro.train import LinearSNAPTrainer, perturbed_lattice_set
+
+
+def main() -> None:
+    params = SNAPParams(twojmax=4, rcut=2.4)
+    reference = StillingerWeber()
+    print(f"model: twojmax={params.twojmax}, rcut={params.rcut} A "
+          f"({14} bispectrum components)")
+
+    train_cfgs = perturbed_lattice_set(
+        ["diamond", "bc8"], a0={"diamond": 3.567, "bc8": 4.44},
+        scales=(0.92, 1.0, 1.08), reps=(1, 1, 1), nrattle=3,
+        amplitude=0.06, seed=0)
+    test_cfgs = perturbed_lattice_set(
+        ["diamond", "bc8"], a0={"diamond": 3.567, "bc8": 4.44},
+        scales=(0.96, 1.04), reps=(1, 1, 1), nrattle=2,
+        amplitude=0.06, seed=100)
+    print(f"training on {len(train_cfgs)} configurations, "
+          f"validating on {len(test_cfgs)} held-out ones")
+
+    trainer = LinearSNAPTrainer(params, energy_weight=100.0, force_weight=1.0)
+    for cfg in train_cfgs:
+        nbr = build_pairs(cfg.positions, cfg.box, reference.cutoff)
+        res = reference.compute(cfg.natoms, nbr)
+        trainer.add_configuration(cfg, res.energy, res.forces)
+    fit = trainer.fit(ridge=1e-8)
+    print(f"train: E RMSE {fit.energy_rmse * 1e3:.1f} meV/atom, "
+          f"F RMSE {fit.force_rmse:.3f} eV/A "
+          f"({fit.n_energy_rows} energy rows, {fit.n_force_rows} force rows)")
+
+    snap = fit.make_snap(params)
+    e_err, f_err = [], []
+    for cfg in test_cfgs:
+        nbr_ref = build_pairs(cfg.positions, cfg.box, reference.cutoff)
+        nbr_snap = build_pairs(cfg.positions, cfg.box, params.rcut)
+        ref = reference.compute(cfg.natoms, nbr_ref)
+        got = snap.compute(cfg.natoms, nbr_snap)
+        e_err.append((got.energy - ref.energy) / cfg.natoms)
+        f_err.append(np.sqrt(np.mean((got.forces - ref.forces) ** 2)))
+    print(f"test:  E RMSE {np.sqrt(np.mean(np.square(e_err))) * 1e3:.1f} "
+          f"meV/atom, F RMSE {np.mean(f_err):.3f} eV/A")
+    print("(the paper's production model was fitted the same way, to DFT, "
+          "at 2J=8 / 55 components)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Pure-Python reproduction of SC'21 billion-atom SNAP molecular "
+        "dynamics of carbon at extreme conditions"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

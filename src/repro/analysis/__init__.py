@@ -1,0 +1,28 @@
+"""Structure and thermodynamics analysis."""
+
+from .dynamics import diffusion_coefficient, vacf, vibrational_dos
+from .eos import (BirchMurnaghanFit, birch_murnaghan_energy, cold_curve,
+                  fit_birch_murnaghan)
+from .order import local_fingerprints, steinhardt_q
+from .phase import PHASE_LABELS, PhaseClassifier
+from .rdf import coordination_numbers, rdf
+from .thermo import msd, pressure, pressure_bar
+
+__all__ = [
+    "cold_curve",
+    "fit_birch_murnaghan",
+    "birch_murnaghan_energy",
+    "BirchMurnaghanFit",
+    "rdf",
+    "coordination_numbers",
+    "steinhardt_q",
+    "local_fingerprints",
+    "PhaseClassifier",
+    "PHASE_LABELS",
+    "pressure",
+    "pressure_bar",
+    "msd",
+    "vacf",
+    "vibrational_dos",
+    "diffusion_coefficient",
+]

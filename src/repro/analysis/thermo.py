@@ -1,0 +1,42 @@
+"""Thermodynamic observables: pressure, stress, mean-square displacement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import EVA3_TO_BAR, KB
+from ..core.snap import EnergyForces
+from ..md.box import Box
+from ..md.system import ParticleSystem
+
+__all__ = ["pressure", "pressure_bar", "msd"]
+
+
+def pressure(system: ParticleSystem, result: EnergyForces) -> float:
+    """Instantaneous pressure [eV/A^3] from kinetic + virial terms.
+
+    ``P V = N kB T + tr(W)/3`` with ``W`` the configurational virial
+    tensor returned by every potential.
+    """
+    v = system.box.volume
+    kin = system.natoms * KB * system.temperature()
+    return (kin + np.trace(result.virial) / 3.0) / v
+
+
+def pressure_bar(system: ParticleSystem, result: EnergyForces) -> float:
+    """Instantaneous pressure [bar] (1 Mbar = 1e6 bar; the paper's BC8
+    conditions are ~12 Mbar)."""
+    return pressure(system, result) * EVA3_TO_BAR
+
+
+def msd(frames: np.ndarray) -> np.ndarray:
+    """Mean-square displacement vs frame index.
+
+    ``frames`` has shape ``(nframes, natoms, 3)`` and must contain
+    *unwrapped* coordinates.
+    """
+    frames = np.asarray(frames, dtype=float)
+    if frames.ndim != 3 or frames.shape[-1] != 3:
+        raise ValueError("frames must have shape (nframes, natoms, 3)")
+    disp = frames - frames[0]
+    return np.mean(np.sum(disp * disp, axis=2), axis=1)

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library/model summary (component counts, machines, FLOP model).
+``headline``
+    Print the Section-7 headline reproduction block.
+``scaling``
+    Print the strong/weak scaling and breakdown tables (Figs. 3-5).
+``machines``
+    Print the machine-comparison table (Fig. 6).
+``production``
+    Simulate the 24 h production trace (Fig. 7) and print summary rows.
+``bench-kernel``
+    Measure the local SNAP kernel (Table-I-style row for this host).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from . import __version__
+    from .core.flops import PAPER_FLOPS_PER_ATOM_STEP
+    from .core.indexing import num_bispectrum
+    from .perfmodel import MACHINES
+
+    print(f"repro {__version__} - SC'21 billion-atom SNAP MD reproduction")
+    print(f"bispectrum components: 2J=8 -> {num_bispectrum(8)}, "
+          f"2J=14 -> {num_bispectrum(14)}")
+    print(f"FLOPs per atom-step (2J=8, 26 nbrs): "
+          f"{PAPER_FLOPS_PER_ATOM_STEP / 1e6:.2f} M")
+    print("machines:", ", ".join(m.name for m in MACHINES.values()))
+    return 0
+
+
+def _cmd_headline(args) -> int:
+    from .core.flops import PAPER_FLOPS_PER_ATOM_STEP
+    from .perfmodel import MACHINES, PAPER, md_performance, pflops
+
+    n20, nodes = 19_683_000_000, 4650
+    perf = md_performance("summit", n20, nodes) / 1e6
+    pf = pflops("summit", n20, nodes, PAPER_FLOPS_PER_ATOM_STEP)
+    frac = pf * 1e15 / (nodes * MACHINES["summit"].peak_flops_node)
+    h = PAPER["headline"]
+    print(f"{'quantity':34s} {'model':>8s} {'paper':>8s}")
+    for name, got, want in [
+            ("Matom-steps/node-s (20B atoms)", perf,
+             h["md_performance_matom_steps_node_s"]),
+            ("PFLOPS (fp64)", pf, h["peak_pflops"]),
+            ("fraction of peak", frac, h["fraction_of_peak"]),
+            ("speedup vs DeepMD", perf / h["deepmd_matom_steps_node_s"],
+             h["speedup_vs_deepmd"])]:
+        print(f"{name:34s} {got:8.3f} {want:8.3f}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .perfmodel import PAPER, breakdown, strong_scaling, weak_scaling
+
+    nodes = [64, 256, 972, 2048, 4650]
+    print("strong scaling (Matom-steps/node-s):")
+    print(f"{'atoms':>15s}  " + "".join(f"{n:>9d}" for n in nodes))
+    for natoms in PAPER["strong_scaling_sizes"]:
+        sweep = strong_scaling("summit", natoms, nodes)
+        print(f"{natoms:15,d}  " + "".join(
+            f"{p:9.2f}" for p in sweep["matom_steps_node_s"]))
+    print("\nweak scaling at 373,248 atoms/node:")
+    ws = weak_scaling("summit", 373_248, [1, 8, 64, 512, 4096])
+    print("  " + "  ".join(f"{n}n:{p:.2f}" for n, p in
+                           zip(ws["nodes"], ws["matom_steps_node_s"])))
+    print("\nbreakdown at 4650 nodes (SNAP/MPI/Other):")
+    for natoms in PAPER["breakdown"]:
+        b = breakdown("summit", natoms, 4650)
+        print(f"{natoms:15,d}  {b['SNAP']*100:4.0f}% / "
+              f"{b['MPI Comm']*100:4.0f}% / {b['Other']*100:4.0f}%")
+    return 0
+
+
+def _cmd_machines(args) -> int:
+    from .perfmodel import MACHINES, md_performance
+
+    n1b = 1_024_192_512
+    print(f"{'machine':12s} {'Matom-steps/node-s (1B atoms, 256 nodes)':>42s}")
+    for key, spec in MACHINES.items():
+        print(f"{spec.name:12s} {md_performance(key, n1b, 256) / 1e6:42.2f}")
+    return 0
+
+
+def _cmd_production(args) -> int:
+    from .perfmodel import ProductionRun, production_trace
+
+    trace = production_trace(ProductionRun(wall_hours=args.hours))
+    perf = trace["perf"]
+    print(f"simulated {trace['wall_hours'][-1]:.1f} h, "
+          f"{trace['sim_time_ns'][-1]:.2f} ns of physics")
+    print(f"median rate {np.median(perf):.2f} Matom-steps/node-s, "
+          f"I/O dip floor {perf.min():.2f}")
+    return 0
+
+
+def _cmd_bench_kernel(args) -> int:
+    import time
+
+    from .core import SNAP, SNAPParams
+    from .md import build_pairs
+    from .structures import random_packed
+
+    density = 0.1
+    s = random_packed(args.natoms, density=density, seed=1)
+    rcut = (26 / (4 / 3 * np.pi * density)) ** (1 / 3)
+    params = SNAPParams(twojmax=args.twojmax, rcut=rcut)
+    snap = SNAP(params, beta=np.random.default_rng(0).normal(
+        size=SNAP(params).index.ncoeff))
+    nbr = build_pairs(s.positions, s.box, rcut)
+    t0 = time.perf_counter()
+    snap.compute(args.natoms, nbr)
+    dt = time.perf_counter() - t0
+    print(f"2J={args.twojmax}, {args.natoms} atoms, "
+          f"{nbr.npairs / args.natoms:.1f} nbrs: "
+          f"{args.natoms / dt / 1e3:.2f} Katom-steps/s")
+    for k, v in snap.last_timings.items():
+        print(f"  {k:22s} {v / dt * 100:5.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SC'21 SNAP MD reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info").set_defaults(fn=_cmd_info)
+    sub.add_parser("headline").set_defaults(fn=_cmd_headline)
+    sub.add_parser("scaling").set_defaults(fn=_cmd_scaling)
+    sub.add_parser("machines").set_defaults(fn=_cmd_machines)
+    p = sub.add_parser("production")
+    p.add_argument("--hours", type=float, default=24.0)
+    p.set_defaults(fn=_cmd_production)
+    p = sub.add_parser("bench-kernel")
+    p.add_argument("--natoms", type=int, default=256)
+    p.add_argument("--twojmax", type=int, default=8)
+    p.set_defaults(fn=_cmd_bench_kernel)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

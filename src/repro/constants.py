@@ -1,0 +1,45 @@
+"""Physical constants and unit conventions.
+
+The whole library uses LAMMPS *metal* units:
+
+==========  =========================
+quantity    unit
+==========  =========================
+length      angstrom (A)
+time        picosecond (ps)
+energy      electron-volt (eV)
+mass        g/mol
+temperature kelvin (K)
+pressure    bar
+force       eV/A
+velocity    A/ps
+==========  =========================
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [eV/K].
+KB = 8.617333262e-5
+
+#: Conversion factor: (g/mol) * (A/ps)^2 -> eV.  Kinetic energy is
+#: ``0.5 * m * v**2 * MVV2E``; acceleration is ``F / (m * MVV2E)``.
+MVV2E = 1.0364269e-4
+
+#: Conversion factor: eV/A^3 -> bar (for pressure from the virial).
+EVA3_TO_BAR = 1.602176634e6 / 1.0e5 * 1.0e5  # = 1.602...e6 bar per eV/A^3
+
+# The line above reads oddly; keep the plain value to avoid confusion.
+EVA3_TO_BAR = 1.602176634e6
+
+#: Mass of carbon [g/mol].
+CARBON_MASS = 12.011
+
+#: pi, re-exported for symmetry with the C sources this module mirrors.
+from math import pi as PI  # noqa: E402
+
+#: 1 Mbar in bar, used for the paper's "extreme pressure (12 Mbar)".
+MBAR = 1.0e6
+
+#: Femtoseconds per picosecond; the canonical MD timestep of the paper's
+#: production runs is on the order of 1 fs = 1e-3 ps.
+FS = 1.0e-3

@@ -1,0 +1,104 @@
+"""Clebsch-Gordan coefficients in the doubled-integer convention.
+
+These feed the Clebsch-Gordan products :math:`Z^j_{j_1 j_2}` of the
+paper's Eq. (2).  Everything is exact rational arithmetic under the hood
+(Python integers in the factorial formula) converted to float at the end,
+so coefficients are accurate to machine precision for the small ``j``
+used by SNAP (``2J <= 14`` in the paper's benchmarks).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import factorial, sqrt
+
+import numpy as np
+
+__all__ = ["clebsch_gordan", "cg_tensor"]
+
+
+def _f(n2: int) -> int:
+    """Factorial of a doubled integer ``n2`` (must be an even non-negative)."""
+    if n2 % 2 != 0:
+        raise ValueError(f"factorial argument {n2}/2 is not an integer")
+    n = n2 // 2
+    if n < 0:
+        raise ValueError(f"negative factorial argument {n}")
+    return factorial(n)
+
+
+@lru_cache(maxsize=None)
+def clebsch_gordan(j1: int, m1: int, j2: int, m2: int, j: int, m: int) -> float:
+    """Clebsch-Gordan coefficient ``<j1 m1 j2 m2 | j m>``.
+
+    All six arguments are *doubled* values (``j1 = 2*j1_physical`` etc.),
+    so half-integer momenta are represented exactly.
+    """
+    if m1 + m2 != m:
+        return 0.0
+    if not (abs(j1 - j2) <= j <= j1 + j2):
+        return 0.0
+    if (j1 + j2 + j) % 2 != 0:
+        return 0.0
+    if abs(m1) > j1 or abs(m2) > j2 or abs(m) > j:
+        return 0.0
+    if (j1 + m1) % 2 or (j2 + m2) % 2 or (j + m) % 2:
+        return 0.0
+
+    # Racah's factorial formula; every _f argument is a doubled integer.
+    pref = (
+        _f(j1 + j2 - j)
+        * _f(j1 - j2 + j)
+        * _f(-j1 + j2 + j)
+        / _f(j1 + j2 + j + 2)
+        * (j + 1)  # (2j+1) in physical units is (j+1) in doubled units
+        * _f(j + m)
+        * _f(j - m)
+        * _f(j1 - m1)
+        * _f(j1 + m1)
+        * _f(j2 - m2)
+        * _f(j2 + m2)
+    )
+
+    # Summation index k is a plain (non-doubled) integer.
+    kmin = max(0, (j2 - j - m1) // 2, (j1 - j + m2) // 2)
+    kmax = min((j1 + j2 - j) // 2, (j1 - m1) // 2, (j2 + m2) // 2)
+    total = 0.0
+    for k in range(kmin, kmax + 1):
+        k2 = 2 * k
+        denom = (
+            factorial(k)
+            * _f(j1 + j2 - j - k2)
+            * _f(j1 - m1 - k2)
+            * _f(j2 + m2 - k2)
+            * _f(j - j2 + m1 + k2)
+            * _f(j - j1 - m2 + k2)
+        )
+        total += (-1.0) ** k / denom
+    return sqrt(pref) * total
+
+
+@lru_cache(maxsize=None)
+def _cg_tensor_cached(j1: int, j2: int, j: int) -> np.ndarray:
+    h = np.zeros((j1 + 1, j2 + 1, j + 1))
+    shift = (j1 + j2 - j) // 2
+    for ma1 in range(j1 + 1):
+        m1 = 2 * ma1 - j1
+        for ma2 in range(j2 + 1):
+            m2 = 2 * ma2 - j2
+            ma = ma1 + ma2 - shift
+            if 0 <= ma <= j:
+                h[ma1, ma2, ma] = clebsch_gordan(j1, m1, j2, m2, j, m1 + m2)
+    out = h
+    out.setflags(write=False)
+    return out
+
+
+def cg_tensor(j1: int, j2: int, j: int) -> np.ndarray:
+    """Dense CG tensor ``H[ma1, ma2, ma]`` for a (doubled) triple.
+
+    ``H`` has shape ``(j1+1, j2+1, j+1)`` and satisfies
+    ``H[ma1, ma2, ma] = <j1 m1 j2 m2 | j m>`` with ``m = m1 + m2``.
+    The returned array is cached and read-only.
+    """
+    return _cg_tensor_cached(j1, j2, j)

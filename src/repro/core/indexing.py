@@ -1,0 +1,121 @@
+"""Index bookkeeping for SNAP bispectrum components.
+
+All angular momenta are stored as *doubled* integers (``J = 2j``), the
+"factor of 2 convention to avoid half-integers" used by the paper.  A
+Wigner matrix :math:`U_j` of rank :math:`2j+1` therefore has dimension
+``J + 1`` and is indexed by ``ma, mb`` in ``0..J`` with the physical
+magnetic quantum number ``m = (2*ma - J) / 2``.
+
+The per-atom expansion coefficients for all ``j <= twojmax/2`` are stored
+as one flat complex vector (the paper's "flattened jagged
+multi-dimensional arrays"); :class:`SNAPIndex` provides the offsets.
+
+Triple enumeration follows LAMMPS:
+
+* ``zlist`` triples: ``(j1, j2, j)`` with ``j2 <= j1`` and
+  ``|j1-j2| <= j <= min(twojmax, j1+j2)`` stepping by 2 (doubled units).
+* ``blist`` triples (the bispectrum components reported to users) are the
+  subset with ``j >= j1``, giving exactly 55 components for ``2J = 8``
+  and 204 for ``2J = 14`` as quoted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SNAPIndex", "num_bispectrum", "enumerate_z_triples", "enumerate_b_triples"]
+
+
+def enumerate_z_triples(twojmax: int) -> list[tuple[int, int, int]]:
+    """All ``(j1, j2, j)`` triples (doubled) needed for the Z/Y stage."""
+    triples = []
+    for j1 in range(twojmax + 1):
+        for j2 in range(j1 + 1):
+            for j in range(j1 - j2, min(twojmax, j1 + j2) + 1, 2):
+                triples.append((j1, j2, j))
+    return triples
+
+
+def enumerate_b_triples(twojmax: int) -> list[tuple[int, int, int]]:
+    """The canonical bispectrum triples: z-triples with ``j >= j1``."""
+    return [t for t in enumerate_z_triples(twojmax) if t[2] >= t[0]]
+
+
+def num_bispectrum(twojmax: int) -> int:
+    """Number of unique bispectrum components (e.g. 55 for 2J=8)."""
+    return len(enumerate_b_triples(twojmax))
+
+
+@dataclass(frozen=True)
+class SNAPIndex:
+    """Precomputed index maps for a given ``twojmax``.
+
+    Attributes
+    ----------
+    twojmax:
+        Doubled maximum angular momentum (``2J`` in the paper; 8 and 14
+        are the paper's benchmark sizes).
+    u_offset:
+        ``u_offset[J]`` is the offset of layer ``J`` in the flat U vector.
+    nu:
+        Total length of the flat U vector, ``sum((J+1)**2)``.
+    z_triples / b_triples:
+        Triple lists as produced by the enumerators above.
+    b_index:
+        Mapping from a canonical b-triple to its position in the
+        bispectrum vector.
+    """
+
+    twojmax: int
+    u_offset: tuple[int, ...] = field(init=False)
+    nu: int = field(init=False)
+    z_triples: tuple[tuple[int, int, int], ...] = field(init=False)
+    b_triples: tuple[tuple[int, int, int], ...] = field(init=False)
+    b_index: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.twojmax < 0:
+            raise ValueError(f"twojmax must be >= 0, got {self.twojmax}")
+        offsets = []
+        total = 0
+        for j in range(self.twojmax + 1):
+            offsets.append(total)
+            total += (j + 1) ** 2
+        object.__setattr__(self, "u_offset", tuple(offsets))
+        object.__setattr__(self, "nu", total)
+        zt = tuple(enumerate_z_triples(self.twojmax))
+        bt = tuple(t for t in zt if t[2] >= t[0])
+        object.__setattr__(self, "z_triples", zt)
+        object.__setattr__(self, "b_triples", bt)
+        object.__setattr__(self, "b_index", {t: i for i, t in enumerate(bt)})
+
+    @property
+    def nb(self) -> int:
+        """Number of bispectrum components."""
+        return len(self.b_triples)
+
+    @property
+    def ncoeff(self) -> int:
+        """Number of linear SNAP coefficients including the constant term."""
+        return self.nb + 1
+
+    def layer_slice(self, j: int) -> slice:
+        """Slice of the flat U vector holding layer ``j`` (doubled)."""
+        if not 0 <= j <= self.twojmax:
+            raise ValueError(f"layer {j} out of range for twojmax={self.twojmax}")
+        start = self.u_offset[j]
+        return slice(start, start + (j + 1) ** 2)
+
+    def flat(self, j: int, ma: int, mb: int) -> int:
+        """Flat index of element ``(ma, mb)`` of layer ``j``."""
+        return self.u_offset[j] + ma * (j + 1) + mb
+
+    def diagonal_indices(self) -> np.ndarray:
+        """Flat indices of all ``ma == mb`` diagonal elements (self-term)."""
+        idx = []
+        for j in range(self.twojmax + 1):
+            for ma in range(j + 1):
+                idx.append(self.flat(j, ma, ma))
+        return np.asarray(idx, dtype=np.intp)

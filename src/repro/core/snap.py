@@ -1,0 +1,415 @@
+"""SNAP potential: vectorized adjoint-refactorized energy/force kernel.
+
+This is the production implementation of the paper's force kernel,
+mirroring the optimized LAMMPS/Kokkos pipeline in NumPy:
+
+1. ``compute_ui``   - accumulate neighbor-density expansion ``U_tot``
+   per atom (paper Eq. 1), O(J^3 N_nbor) per atom.
+2. ``compute_yi``   - adjoint accumulation ``Y_j = sum beta Z^j_{j1 j2}``
+   (paper Eq. 7) which replaces the O(J^5) ``Z``/``dB`` storage of the
+   original algorithm with O(J^3) storage - the "adjoint
+   refactorization" that made the 2J=14 problem fit on a V100 and is the
+   paper's key algorithmic enabler.  The bispectrum components ``B``
+   (for the energy) fall out of the same pass.
+3. ``compute_dui/deidrj`` - per-pair gradients contracted against ``Y``
+   (paper Eq. 8), evaluated in fixed-size pair chunks so that the
+   intermediate ``dU`` tensor never exceeds a memory budget.  Chunking
+   re-computes ``U`` per pair instead of storing it - the same
+   recompute-vs-store trade the paper uses to raise arithmetic
+   intensity on GPUs (kernel fusion).
+
+The per-kernel wall times of the latest evaluation are kept in
+:attr:`SNAP.last_timings` so benchmarks can report a stage breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cg import cg_tensor
+from .indexing import SNAPIndex
+from .switching import sfac_dsfac
+from .wigner import cayley_klein, compute_du_layers, compute_u_layers, flatten_layers
+
+__all__ = ["SNAPParams", "NeighborBatch", "EnergyForces", "SNAP"]
+
+
+@dataclass(frozen=True)
+class SNAPParams:
+    """Hyperparameters of a SNAP model (single chemical species).
+
+    ``twojmax`` is the doubled band limit (paper benchmark sizes: 8 and
+    14, giving 55 and 204 bispectrum components).  ``rcut`` is the
+    neighbor cutoff in Angstrom.
+    """
+
+    twojmax: int = 8
+    rcut: float = 4.7
+    rfac0: float = 0.99363
+    rmin0: float = 0.0
+    wself: float = 1.0
+    switch: bool = True
+    chunk: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.rcut <= self.rmin0:
+            raise ValueError("rcut must exceed rmin0")
+        if self.twojmax < 0:
+            raise ValueError("twojmax must be non-negative")
+        if self.chunk < 1:
+            raise ValueError("chunk must be positive")
+
+
+@dataclass
+class NeighborBatch:
+    """Flat neighbor pairs for a batch of atoms.
+
+    ``i_idx[p]`` is the central atom of pair ``p`` and ``rij[p]`` the
+    vector from it to its neighbor (minimum-image applied by the caller);
+    ``r`` are the distances.  Pairs must appear in both directions, as
+    in a LAMMPS *full* neighbor list.
+
+    ``pair_weight`` and ``pair_rcut`` optionally carry per-pair density
+    weights and cutoffs, the multi-species SNAP convention (``wj`` of the
+    neighbor's element, ``(R_i + R_j) * rcutfac``).  Pairs beyond their
+    own ``pair_rcut`` contribute exactly zero.
+    """
+
+    i_idx: np.ndarray
+    rij: np.ndarray
+    r: np.ndarray
+    j_idx: np.ndarray | None = None  # neighbor atom ids; needed for forces
+    pair_weight: np.ndarray | None = None
+    pair_rcut: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.i_idx = np.ascontiguousarray(self.i_idx, dtype=np.intp)
+        self.rij = np.ascontiguousarray(self.rij, dtype=float)
+        self.r = np.ascontiguousarray(self.r, dtype=float)
+        if self.j_idx is not None:
+            self.j_idx = np.ascontiguousarray(self.j_idx, dtype=np.intp)
+        if self.rij.shape != (self.i_idx.shape[0], 3):
+            raise ValueError("rij must have shape (npairs, 3)")
+        if self.r.shape != self.i_idx.shape:
+            raise ValueError("r must have shape (npairs,)")
+        for name in ("pair_weight", "pair_rcut"):
+            v = getattr(self, name)
+            if v is not None:
+                v = np.ascontiguousarray(v, dtype=float)
+                if v.shape != self.r.shape:
+                    raise ValueError(f"{name} must have shape (npairs,)")
+                setattr(self, name, v)
+
+    @property
+    def npairs(self) -> int:
+        return self.i_idx.shape[0]
+
+
+def _scatter_sum_sorted(out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """``out[idx] += values`` for *sorted* ``idx`` via segment reduction.
+
+    Neighbor pair lists are CSR-sorted by central atom, so the hot
+    accumulation of ``U_tot`` reduces to ``np.add.reduceat`` on segment
+    boundaries - far faster than ``np.add.at`` scatter adds.
+    """
+    if idx.size == 0:
+        return
+    starts = np.flatnonzero(np.r_[True, np.diff(idx) > 0])
+    sums = np.add.reduceat(values, starts, axis=0)
+    out[idx[starts]] += sums
+
+
+@dataclass
+class EnergyForces:
+    """Result of a SNAP evaluation."""
+
+    energy: float
+    peratom: np.ndarray
+    forces: np.ndarray
+    virial: np.ndarray  # (3, 3), eV
+
+
+class SNAP:
+    """Linear SNAP interatomic potential.
+
+    Parameters
+    ----------
+    params:
+        Model hyperparameters.
+    beta:
+        Linear coefficients of length ``index.ncoeff`` = number of
+        bispectrum components + 1; ``beta[0]`` is the constant per-atom
+        energy shift and ``beta[1:]`` weight the components (paper Eq. 4).
+    bzero:
+        If True, subtract the isolated-atom bispectrum from ``B`` so a
+        lone atom has energy ``beta[0]`` exactly (LAMMPS ``bzeroflag``).
+    """
+
+    def __init__(self, params: SNAPParams, beta: np.ndarray | None = None,
+                 bzero: bool = False, quadratic: np.ndarray | None = None) -> None:
+        self.params = params
+        self.index = SNAPIndex(params.twojmax)
+        if beta is None:
+            beta = np.zeros(self.index.ncoeff)
+            beta[1:] = 1.0
+        beta = np.asarray(beta, dtype=float)
+        if beta.shape != (self.index.ncoeff,):
+            raise ValueError(
+                f"beta must have shape ({self.index.ncoeff},) for twojmax="
+                f"{params.twojmax}, got {beta.shape}")
+        self.beta = beta
+        if quadratic is not None:
+            quadratic = np.asarray(quadratic, dtype=float)
+            nb = self.index.nb
+            if quadratic.shape != (nb, nb):
+                raise ValueError(f"quadratic must have shape ({nb}, {nb})")
+            quadratic = 0.5 * (quadratic + quadratic.T)  # symmetrize
+        self.quadratic = quadratic
+        self._diag = self.index.diagonal_indices()
+        self._triple_cache = self._build_triples()
+        self.last_timings: dict[str, float] = {}
+        self.bzero_shift = self._isolated_b() if bzero else np.zeros(self.index.nb)
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+    def _build_triples(self) -> list[dict]:
+        """Per z-triple: CG tensor, layer views and the Y beta-routing.
+
+        ``beta_route`` stores ``(b_index, factor)`` implementing the
+        LAMMPS role-permutation rules by which every ``Z^j_{j1 j2}``
+        contributes to ``Y_j`` weighted by the bispectrum coefficient of
+        the *canonical* triple it corresponds to.
+        """
+        idx = self.index
+        triples = []
+        for (j1, j2, j) in idx.z_triples:
+            if j >= j1:
+                bidx = idx.b_index[(j1, j2, j)]
+                if j1 == j:
+                    factor = 3.0 if j2 == j else 2.0
+                else:
+                    factor = 1.0
+            elif j >= j2:
+                bidx = idx.b_index[(j, j2, j1)]
+                factor = (j1 + 1) / (j + 1.0)
+                if j2 == j:
+                    factor *= 2.0
+            else:
+                bidx = idx.b_index[(j2, j, j1)]
+                factor = (j1 + 1) / (j + 1.0)
+            h = cg_tensor(j1, j2, j)
+            d1, d2, d = h.shape
+            hc = np.ascontiguousarray(h, dtype=np.complex128)
+            triples.append({
+                "j1": j1, "j2": j2, "j": j,
+                "h1": h,
+                # pre-reshaped complex copies so the Z contraction runs as
+                # three BLAS (zgemm) calls instead of generic einsums
+                "hm_left": hc.reshape(d1, d2 * d),
+                "hm_right": hc.reshape(d1 * d2, d),
+                "b_index": idx.b_index.get((j1, j2, j)) if j >= j1 else None,
+                "y_b_index": bidx,
+                "y_factor": factor,
+            })
+        return triples
+
+    def _isolated_b(self) -> np.ndarray:
+        """Bispectrum of an atom with no neighbors (self-term only)."""
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0))
+        utot = self.compute_utot(1, empty)
+        b, _ = self._compute_b_y(utot, want_y=False)
+        return b[0]
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def compute_utot(self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
+        """Stage 1 (compute_ui): accumulate ``U_tot`` per atom.
+
+        Returns a complex array of shape ``(natoms, nu)``; the self
+        contribution ``wself`` sits on every layer diagonal.
+        """
+        p = self.params
+        utot = np.zeros((natoms, self.index.nu), dtype=np.complex128)
+        utot[:, self._diag] = p.wself
+        for lo in range(0, nbr.npairs, p.chunk):
+            sl = slice(lo, min(lo + p.chunk, nbr.npairs))
+            rcut, wj, r_eff = self._pair_params(nbr, sl)
+            ck = cayley_klein(nbr.rij[sl], r_eff, rcut, p.rfac0, p.rmin0)
+            u = flatten_layers(compute_u_layers(ck, p.twojmax))
+            sfac, _ = sfac_dsfac(nbr.r[sl], rcut, p.rmin0, wj=wj, switch=p.switch)
+            idx = nbr.i_idx[sl]
+            if idx.size and np.all(np.diff(idx) >= 0):
+                _scatter_sum_sorted(utot, idx, u * sfac[:, None])
+            else:
+                np.add.at(utot, idx, u * sfac[:, None])
+        return utot
+
+    def _pair_params(self, nbr: NeighborBatch, sl: slice):
+        """Per-chunk ``(rcut, weight, r_clamped)`` honoring pair overrides.
+
+        Distances are clamped just inside the (per-pair) cutoff so the
+        Cayley-Klein map stays finite for pairs the switching function
+        already zeroes out (they can exist when a global neighbor list
+        exceeds a species pair's own cutoff).
+        """
+        p = self.params
+        r = nbr.r[sl]
+        if nbr.pair_rcut is not None:
+            rcut = nbr.pair_rcut[sl]
+            r_eff = np.minimum(r, rcut * (1.0 - 1e-12) - 1e-300)
+        else:
+            rcut = p.rcut
+            r_eff = r
+        wj = nbr.pair_weight[sl] if nbr.pair_weight is not None else 1.0
+        return rcut, wj, r_eff
+
+    def _layer_view(self, flat: np.ndarray, j: int) -> np.ndarray:
+        n = flat.shape[0]
+        return flat[:, self.index.layer_slice(j)].reshape(n, j + 1, j + 1)
+
+    def _compute_b_y(self, utot: np.ndarray, want_y: bool = True,
+                     want_b: bool = True, beta_eff: np.ndarray | None = None
+                     ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Stage 2 (compute_yi / compute_bi): one pass over z-triples.
+
+        For every triple the Clebsch-Gordan product ``Z`` is formed and
+        immediately consumed - accumulated into ``Y`` (adjoint, Eq. 7)
+        and contracted with ``U*`` into ``B`` (Eq. 3) - so ``Z`` is never
+        stored, which is precisely the paper's memory-footprint win.
+
+        ``beta_eff`` optionally supplies *per-atom* linear coefficients of
+        shape ``(natoms, nb)`` - this is how quadratic SNAP reuses the
+        adjoint machinery (LAMMPS does the same: the quadratic model's
+        gradient is linear-SNAP with ``beta + Q B(i)``).
+        """
+        n = utot.shape[0]
+        beta = self.beta
+        b_out = np.zeros((n, self.index.nb)) if want_b else None
+        y_out = np.zeros((n, self.index.nu), dtype=np.complex128) if want_y else None
+        for t in self._triple_cache:
+            j1, j2, j = t["j1"], t["j2"], t["j"]
+            u1 = self._layer_view(utot, j1)
+            u2 = self._layer_view(utot, j2)
+            # Z[a,i,jj] = H[p,q,i] H[r,s,jj] U1[a,p,r] U2[a,q,s] evaluated
+            # as three GEMMs (see _build_triples for the reshaped H).
+            d1, d2, d = j1 + 1, j2 + 1, j + 1
+            t1 = np.tensordot(u1, t["hm_left"], axes=([1], [0]))  # (a,r,q*i)
+            t1 = t1.reshape(n, d1, d2, d).transpose(0, 1, 3, 2)   # (a,r,i,q)
+            t2 = np.matmul(t1.reshape(n, d1 * d, d2), u2)         # (a,r*i,s)
+            t2 = t2.reshape(n, d1, d, d2).transpose(0, 2, 1, 3)   # (a,i,r,s)
+            z = np.matmul(np.ascontiguousarray(t2.reshape(n, d, d1 * d2)),
+                          t["hm_right"])                          # (a,i,jj)
+            if want_b and t["b_index"] is not None:
+                uj = self._layer_view(utot, j)
+                b_out[:, t["b_index"]] = np.einsum(
+                    "aij,aij->a", z.real, uj.real) + np.einsum(
+                    "aij,aij->a", z.imag, uj.imag)
+            if want_y:
+                sl = self.index.layer_slice(j)
+                if beta_eff is not None:
+                    betaj = t["y_factor"] * beta_eff[:, t["y_b_index"]]
+                    y_out[:, sl] += betaj[:, None] * z.reshape(n, -1)
+                else:
+                    betaj = t["y_factor"] * beta[1 + t["y_b_index"]]
+                    if betaj != 0.0:
+                        y_out[:, sl] += betaj * z.reshape(n, -1)
+        return b_out, y_out
+
+    def compute_descriptors(self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
+        """Bispectrum components ``B`` per atom, shape ``(natoms, nb)``."""
+        utot = self.compute_utot(natoms, nbr)
+        b, _ = self._compute_b_y(utot, want_y=False)
+        return b - self.bzero_shift
+
+    def compute_descriptor_gradients(
+            self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
+        """Per-pair gradients ``dB_l(i)/dr_k``, shape ``(npairs, 3, nb)``.
+
+        Used by the FitSNAP-style trainer to build force rows of the
+        design matrix.  This is the *pre-adjoint* quantity (the paper's
+        ``dBlist``); it is O(nb) more expensive than a force call and
+        intended for small training configurations.
+        """
+        from .baseline import descriptor_gradients  # local import: heavy path
+        return descriptor_gradients(self, natoms, nbr)
+
+    def compute_forces_from_y(self, natoms: int, nbr: NeighborBatch,
+                              y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stages 3-4 (compute_duidrj / compute_deidrj / update_forces).
+
+        Returns ``(forces, virial)``.  Processes pairs in chunks,
+        recomputing ``U`` per pair to bound memory (kernel fusion).
+        """
+        p = self.params
+        forces = np.zeros((natoms, 3))
+        virial = np.zeros((3, 3))
+        if nbr.j_idx is None:
+            raise ValueError("NeighborBatch.j_idx is required for forces")
+        idx = self.index
+        for lo in range(0, nbr.npairs, p.chunk):
+            sl = slice(lo, min(lo + p.chunk, nbr.npairs))
+            rij, r = nbr.rij[sl], nbr.r[sl]
+            rcut, wj, r_eff = self._pair_params(nbr, sl)
+            ck = cayley_klein(rij, r_eff, rcut, p.rfac0, p.rmin0)
+            u_layers, du_layers = compute_du_layers(ck, p.twojmax)
+            sfac, dsfac = sfac_dsfac(r, rcut, p.rmin0, wj=wj, switch=p.switch)
+            uhat = rij / r[:, None]
+            yp = y[nbr.i_idx[sl]]
+            # dE_i/dr_k = Re( Y : conj(dU_tot) ) with
+            # dU_tot = sfac * dU + (dsfac * uhat) * U; contract per layer
+            # so neither dU_tot nor a flattened gradient is materialized.
+            npc = r.shape[0]
+            radial = np.zeros(npc)   # Re(Y : conj(U)), the dsfac term
+            dedr = np.zeros((npc, 3))
+            for j, (uj, duj) in enumerate(zip(u_layers, du_layers)):
+                yj = yp[:, idx.layer_slice(j)].reshape(npc, j + 1, j + 1)
+                radial += np.einsum("pab,pab->p", yj.real, uj.real) + \
+                    np.einsum("pab,pab->p", yj.imag, uj.imag)
+                dedr += np.einsum("pab,pcab->pc", yj.real, duj.real) + \
+                    np.einsum("pab,pcab->pc", yj.imag, duj.imag)
+            dedr = dedr * sfac[:, None] + (dsfac * radial)[:, None] * uhat
+            np.add.at(forces, nbr.i_idx[sl], dedr)
+            np.add.at(forces, nbr.j_idx[sl], -dedr)
+            virial -= rij.T @ dedr
+        return forces, virial
+
+    # ------------------------------------------------------------------
+    # public evaluation
+    # ------------------------------------------------------------------
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        """Full energy/force/virial evaluation (the paper's force kernel).
+
+        With a ``quadratic`` coefficient matrix set, the model is
+        ``E_i = beta0 + beta . B_i + 0.5 B_i^T Q B_i`` and the force pass
+        runs with the per-atom effective coefficients ``beta + Q B_i``.
+        """
+        t0 = time.perf_counter()
+        utot = self.compute_utot(natoms, nbr)
+        t1 = time.perf_counter()
+        if self.quadratic is None:
+            b, y = self._compute_b_y(utot)
+            bc = b - self.bzero_shift
+            peratom = self.beta[0] + bc @ self.beta[1:]
+        else:
+            b, _ = self._compute_b_y(utot, want_y=False)
+            bc = b - self.bzero_shift
+            qb = bc @ self.quadratic
+            beta_eff = self.beta[1:][None, :] + qb
+            _, y = self._compute_b_y(utot, want_b=False, beta_eff=beta_eff)
+            peratom = self.beta[0] + bc @ self.beta[1:] + 0.5 * np.sum(bc * qb, axis=1)
+        t2 = time.perf_counter()
+        forces, virial = self.compute_forces_from_y(natoms, nbr, y)
+        t3 = time.perf_counter()
+        self.last_timings = {
+            "compute_ui": t1 - t0,
+            "compute_yi": t2 - t1,
+            "compute_dui_deidrj": t3 - t2,
+        }
+        return EnergyForces(energy=float(peratom.sum()), peratom=peratom,
+                            forces=forces, virial=virial)

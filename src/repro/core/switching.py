@@ -1,0 +1,56 @@
+"""Radial switching function :math:`f_c(r)` of the SNAP neighbor density.
+
+``fc`` takes contributions smoothly to zero at the cutoff (paper Eq. 1).
+The cosine form and the ``rmin0`` inner plateau follow LAMMPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["switching", "switching_derivative", "sfac_dsfac"]
+
+
+def switching(r: np.ndarray, rcut, rmin0: float = 0.0) -> np.ndarray:
+    """Switching function ``fc(r)``: 1 at ``r <= rmin0``, 0 at ``r >= rcut``.
+
+    ``rcut`` may be a scalar or a per-element array (multi-species SNAP
+    uses per-pair cutoffs ``(R_i + R_j) * rcutfac``).
+    """
+    r = np.asarray(r, dtype=float)
+    rcut = np.asarray(rcut, dtype=float)
+    denom = rcut - rmin0
+    if np.any(denom <= 0):
+        raise ValueError(f"rcut ({rcut}) must exceed rmin0 ({rmin0})")
+    x = (r - rmin0) / denom
+    out = 0.5 * (np.cos(np.pi * np.clip(x, 0.0, 1.0)) + 1.0)
+    return np.where(r <= rmin0, 1.0, np.where(r >= rcut, 0.0, out))
+
+
+def switching_derivative(r: np.ndarray, rcut, rmin0: float = 0.0) -> np.ndarray:
+    """Derivative ``dfc/dr``; zero outside ``(rmin0, rcut)``."""
+    r = np.asarray(r, dtype=float)
+    rcut = np.asarray(rcut, dtype=float)
+    denom = rcut - rmin0
+    if np.any(denom <= 0):
+        raise ValueError(f"rcut ({rcut}) must exceed rmin0 ({rmin0})")
+    x = (r - rmin0) / denom
+    inside = (r > rmin0) & (r < rcut)
+    out = -0.5 * np.pi / denom * np.sin(np.pi * np.clip(x, 0.0, 1.0))
+    return np.where(inside, out, 0.0)
+
+
+def sfac_dsfac(
+    r: np.ndarray, rcut, rmin0: float = 0.0, wj=1.0, switch: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element-weighted switching factor and its radial derivative.
+
+    ``rcut`` and ``wj`` may be scalars or per-element arrays.  With
+    ``switch=False`` (LAMMPS ``switchflag 0``) the density weight is a
+    constant ``wj`` inside the cutoff.
+    """
+    r = np.asarray(r, dtype=float)
+    if switch:
+        return wj * switching(r, rcut, rmin0), wj * switching_derivative(r, rcut, rmin0)
+    sf = np.where(r < rcut, wj, 0.0)
+    return sf, np.zeros_like(r)

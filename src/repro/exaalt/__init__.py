@@ -1,0 +1,6 @@
+"""EXAALT task-management framework simulator (extension; see DESIGN.md)."""
+
+from .events import EventLoop
+from .framework import ExaaltConfig, ExaaltStats, simulate_exaalt
+
+__all__ = ["EventLoop", "ExaaltConfig", "ExaaltStats", "simulate_exaalt"]

@@ -1,0 +1,29 @@
+"""Molecular-dynamics substrate: boxes, neighbor lists, integrators, driver."""
+
+from .box import Box
+from .dump import read_checkpoint, write_checkpoint
+from .integrators import (BerendsenBarostat, BerendsenThermostat,
+                          LangevinThermostat, VelocityVerlet)
+from .minimize import FireResult, fire_minimize, relax_volume
+from .neighbor import NeighborList, build_pairs
+from .simulation import Simulation
+from .system import ParticleSystem
+from .timers import PhaseTimers
+
+__all__ = [
+    "Box",
+    "ParticleSystem",
+    "NeighborList",
+    "fire_minimize",
+    "FireResult",
+    "relax_volume",
+    "build_pairs",
+    "VelocityVerlet",
+    "LangevinThermostat",
+    "BerendsenThermostat",
+    "BerendsenBarostat",
+    "Simulation",
+    "PhaseTimers",
+    "write_checkpoint",
+    "read_checkpoint",
+]

@@ -1,0 +1,80 @@
+"""Orthorhombic periodic simulation boxes.
+
+Minimum-image and wrapping helpers shared by the serial and the
+domain-decomposed drivers.  The paper's production cells are cubic
+(periodic replication of an amorphous-carbon sample), so orthorhombic
+support is sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned box with per-axis periodicity, origin at 0.
+
+    Parameters
+    ----------
+    lengths:
+        Edge lengths ``(Lx, Ly, Lz)`` in Angstrom.
+    periodic:
+        Per-axis periodic flags (default fully periodic).
+    """
+
+    lengths: np.ndarray
+    periodic: tuple[bool, bool, bool] = (True, True, True)
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=float).reshape(3)
+        if np.any(lengths <= 0):
+            raise ValueError(f"box lengths must be positive, got {lengths}")
+        lengths.setflags(write=False)
+        object.__setattr__(self, "lengths", lengths)
+        object.__setattr__(self, "periodic", tuple(bool(p) for p in self.periodic))
+
+    @classmethod
+    def cubic(cls, l: float) -> "Box":
+        return cls(lengths=np.array([l, l, l]))
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.lengths))
+
+    @property
+    def pmask(self) -> np.ndarray:
+        return np.array(self.periodic, dtype=bool)
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Map positions into the primary cell along periodic axes."""
+        pos = np.array(positions, dtype=float)
+        for k in range(3):
+            if self.periodic[k]:
+                l = self.lengths[k]
+                pos[:, k] %= l
+                # guard the float edge case (-eps % L) == L
+                pos[pos[:, k] >= l, k] -= l
+        return pos
+
+    def minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention to displacement vectors."""
+        dr = np.array(dr, dtype=float)
+        for k in range(3):
+            if self.periodic[k]:
+                l = self.lengths[k]
+                dr[..., k] -= l * np.round(dr[..., k] / l)
+        return dr
+
+    def scaled(self, factor: float | np.ndarray) -> "Box":
+        """Return a box with edge lengths scaled by ``factor``."""
+        return Box(lengths=self.lengths * np.asarray(factor, dtype=float),
+                   periodic=self.periodic)
+
+    def replicate(self, nx: int, ny: int, nz: int) -> "Box":
+        return Box(lengths=self.lengths * np.array([nx, ny, nz], dtype=float),
+                   periodic=self.periodic)

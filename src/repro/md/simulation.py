@@ -1,0 +1,164 @@
+"""Serial MD driver with LAMMPS-style phase accounting.
+
+``Simulation`` wires a :class:`~repro.md.system.ParticleSystem`, a
+potential, the Verlet integrator and (optionally) a Langevin thermostat
+behind one ``run(nsteps)`` loop, timing each phase the way LAMMPS does
+("SNAP" force time vs "Other" vs "io"), and reporting the MD performance
+figure of merit used throughout the paper: **atom-steps per second**
+(Katom-steps/s, Matom-steps/node-s).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.snap import EnergyForces
+from ..potentials.base import Potential
+from .dump import write_checkpoint
+from .integrators import LangevinThermostat, VelocityVerlet
+from .neighbor import NeighborList
+from .system import ParticleSystem
+from .timers import PhaseTimers
+
+__all__ = ["Simulation", "ThermoEntry"]
+
+
+@dataclass
+class ThermoEntry:
+    """One row of thermodynamic output."""
+
+    step: int
+    temperature: float
+    potential_energy: float
+    kinetic_energy: float
+    total_energy: float
+
+
+class Simulation:
+    """Serial molecular-dynamics run.
+
+    Parameters
+    ----------
+    system, potential:
+        The state and the force field.
+    dt:
+        Timestep [ps].
+    thermostat:
+        Optional :class:`LangevinThermostat`.
+    skin:
+        Verlet-list skin [A].
+    checkpoint_every / checkpoint_path:
+        If set, write binary restart files (counted in the "io" phase,
+        the dips of paper Fig. 7).
+    """
+
+    def __init__(self, system: ParticleSystem, potential: Potential,
+                 dt: float = 1.0e-3, thermostat: LangevinThermostat | None = None,
+                 barostat=None, skin: float = 0.3, checkpoint_every: int = 0,
+                 checkpoint_path: str | Path | None = None) -> None:
+        self.system = system
+        self.potential = potential
+        self.integrator = VelocityVerlet(dt=dt)
+        self.thermostat = thermostat
+        self.barostat = barostat
+        self._skin = skin
+        self.neighbors = NeighborList(box=system.box, cutoff=potential.cutoff, skin=skin)
+        self.timers = PhaseTimers()
+        self.step = 0
+        self.thermo_log: list[ThermoEntry] = []
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self._last: EnergyForces | None = None
+
+    # ------------------------------------------------------------------
+    def instantaneous_pressure(self) -> float:
+        """Current pressure [eV/A^3] from kinetic + virial terms."""
+        from ..constants import KB
+
+        if self._last is None:
+            self._forces()
+        v = self.system.box.volume
+        kin = self.system.natoms * KB * self.system.temperature()
+        return float((kin + np.trace(self._last.virial) / 3.0) / v)
+
+    def _forces(self) -> EnergyForces:
+        if self.neighbors.box is not self.system.box:
+            # the barostat rescaled the cell; rebind the neighbor list
+            self.neighbors = NeighborList(box=self.system.box,
+                                          cutoff=self.potential.cutoff,
+                                          skin=self._skin)
+        with self.timers.phase("neigh"):
+            nbr = self.neighbors.get(self.system.positions)
+        with self.timers.phase("force"):
+            result = self.potential.compute(self.system.natoms, nbr)
+        forces = result.forces
+        if self.thermostat is not None:
+            with self.timers.phase("other"):
+                self.thermostat.add_forces(self.system, forces, self.integrator.dt)
+        self._last = result
+        return result
+
+    def _record_thermo(self) -> None:
+        ke = self.system.kinetic_energy()
+        pe = self._last.energy if self._last is not None else 0.0
+        self.thermo_log.append(ThermoEntry(
+            step=self.step, temperature=self.system.temperature(),
+            potential_energy=pe, kinetic_energy=ke, total_energy=pe + ke))
+
+    # ------------------------------------------------------------------
+    def run(self, nsteps: int, thermo_every: int = 0) -> dict:
+        """Advance ``nsteps``; returns a performance summary dict.
+
+        The summary includes ``atom_steps_per_s`` (the paper's figure of
+        merit) and the per-phase time fractions (paper Fig. 4 analog).
+        """
+        if nsteps < 0:
+            raise ValueError("nsteps must be non-negative")
+        t_start = time.perf_counter()
+        result = self._forces()
+        if thermo_every:
+            self._record_thermo()
+        for _ in range(nsteps):
+            with self.timers.phase("other"):
+                self.integrator.first_half(self.system, result.forces)
+            result = self._forces()
+            with self.timers.phase("other"):
+                self.integrator.second_half(self.system, result.forces)
+                if self.barostat is not None:
+                    self.barostat.apply(self.system,
+                                        self.instantaneous_pressure(),
+                                        self.integrator.dt)
+            self.step += 1
+            if thermo_every and self.step % thermo_every == 0:
+                self._record_thermo()
+            if (self.checkpoint_every and self.checkpoint_path
+                    and self.step % self.checkpoint_every == 0):
+                with self.timers.phase("io"):
+                    write_checkpoint(self.checkpoint_path, self.system, self.step)
+        wall = time.perf_counter() - t_start
+        atom_steps = self.system.natoms * max(nsteps, 1)
+        return {
+            "steps": nsteps,
+            "natoms": self.system.natoms,
+            "wall_s": wall,
+            "atom_steps_per_s": atom_steps / wall if wall > 0 else float("inf"),
+            "phase_fractions": self.timers.fractions(),
+            "neighbor_builds": self.neighbors.nbuilds,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def potential_energy(self) -> float:
+        if self._last is None:
+            self._forces()
+        return self._last.energy
+
+    @property
+    def last_result(self) -> EnergyForces:
+        if self._last is None:
+            self._forces()
+        return self._last

@@ -1,0 +1,91 @@
+"""Particle systems: positions, velocities, masses in a periodic box."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import KB, MVV2E
+from .box import Box
+
+__all__ = ["ParticleSystem"]
+
+
+@dataclass
+class ParticleSystem:
+    """State of an atomistic system in LAMMPS *metal* units.
+
+    Velocities default to zero; types default to a single species.
+    """
+
+    positions: np.ndarray
+    box: Box
+    masses: np.ndarray | float = 12.011
+    velocities: np.ndarray | None = None
+    types: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must have shape (n, 3)")
+        n = self.positions.shape[0]
+        if np.isscalar(self.masses):
+            self.masses = np.full(n, float(self.masses))
+        else:
+            self.masses = np.ascontiguousarray(self.masses, dtype=float)
+        if self.masses.shape != (n,):
+            raise ValueError("masses must be scalar or shape (n,)")
+        if self.velocities is None:
+            self.velocities = np.zeros((n, 3))
+        else:
+            self.velocities = np.ascontiguousarray(self.velocities, dtype=float)
+        if self.velocities.shape != (n, 3):
+            raise ValueError("velocities must have shape (n, 3)")
+        if self.types is None:
+            self.types = np.zeros(n, dtype=np.int32)
+        else:
+            self.types = np.ascontiguousarray(self.types, dtype=np.int32)
+
+    @property
+    def natoms(self) -> int:
+        return self.positions.shape[0]
+
+    def kinetic_energy(self) -> float:
+        """Kinetic energy [eV]."""
+        return float(0.5 * MVV2E * np.sum(self.masses * np.sum(self.velocities**2, axis=1)))
+
+    def temperature(self) -> float:
+        """Instantaneous kinetic temperature [K] (3N degrees of freedom)."""
+        dof = 3 * self.natoms
+        if dof == 0:
+            return 0.0
+        return 2.0 * self.kinetic_energy() / (dof * KB)
+
+    def seed_velocities(self, temperature: float, rng: np.random.Generator | None = None,
+                        zero_momentum: bool = True) -> None:
+        """Draw Maxwell-Boltzmann velocities at the given temperature [K]."""
+        rng = rng or np.random.default_rng()
+        sigma = np.sqrt(KB * temperature / (self.masses * MVV2E))
+        self.velocities = rng.normal(size=(self.natoms, 3)) * sigma[:, None]
+        if zero_momentum and self.natoms > 1:
+            p = (self.masses[:, None] * self.velocities).mean(axis=0)
+            self.velocities -= p / self.masses[:, None]
+        if temperature > 0 and self.natoms > 1:
+            t_now = self.temperature()
+            if t_now > 0:
+                self.velocities *= np.sqrt(temperature / t_now)
+
+    def copy(self) -> "ParticleSystem":
+        return ParticleSystem(positions=self.positions.copy(), box=self.box,
+                              masses=self.masses.copy(),
+                              velocities=self.velocities.copy(),
+                              types=self.types.copy())
+
+    def wrap(self) -> None:
+        """Wrap positions into the primary cell in place."""
+        self.positions = self.box.wrap(self.positions)
+
+    def density(self) -> float:
+        """Number density [atoms/A^3]."""
+        return self.natoms / self.box.volume

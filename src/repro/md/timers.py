@@ -1,0 +1,54 @@
+"""Phase timers mirroring the LAMMPS timing breakdown.
+
+The paper's Fig. 4 splits wall time into "SNAP" (force), "MPI Comm" and
+"Other" (I/O, thermostat, Verlet integration, ...).  :class:`PhaseTimers`
+accumulates the same categories for our drivers so the breakdown bench
+can report measured fractions next to the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimers"]
+
+
+class PhaseTimers:
+    """Named accumulating wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._acc: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] = self._acc.get(name, 0.0) + time.perf_counter() - t0
+
+    def add(self, name: str, seconds: float) -> None:
+        self._acc[name] = self._acc.get(name, 0.0) + seconds
+
+    @property
+    def totals(self) -> dict[str, float]:
+        return dict(self._acc)
+
+    @property
+    def total(self) -> float:
+        return sum(self._acc.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of total time per phase (empty dict if nothing timed)."""
+        tot = self.total
+        if tot <= 0:
+            return {}
+        return {k: v / tot for k, v in self._acc.items()}
+
+    def reset(self) -> None:
+        self._acc.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.3g}s" for k, v in sorted(self._acc.items()))
+        return f"PhaseTimers({parts})"

@@ -1,0 +1,18 @@
+"""Simulated-MPI domain decomposition substrate."""
+
+from .comm import CommStats, VirtualComm
+from .decomposition import DomainGrid, best_grid
+from .distributed import CommLedger, DistributedSimulation
+from .halo import BYTES_PER_GHOST, Halo, build_halos
+
+__all__ = [
+    "VirtualComm",
+    "CommStats",
+    "best_grid",
+    "DomainGrid",
+    "Halo",
+    "build_halos",
+    "BYTES_PER_GHOST",
+    "DistributedSimulation",
+    "CommLedger",
+]

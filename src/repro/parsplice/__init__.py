@@ -1,0 +1,26 @@
+"""Parallel Trajectory Splicing (extension; see DESIGN.md)."""
+
+from .model import MarkovStateModel, arrhenius_msm, nanoparticle_landscape
+from .oracle import TransitionOracle
+from .qsd import (DoubleWell, evolve, exponentiality, first_escape_times,
+                  qsd_sample)
+from .scheduler import ParSpliceRun, run_parsplice
+from .segments import Segment, SegmentGenerator
+from .splicer import SpliceEngine
+
+__all__ = [
+    "MarkovStateModel",
+    "arrhenius_msm",
+    "nanoparticle_landscape",
+    "Segment",
+    "SegmentGenerator",
+    "SpliceEngine",
+    "TransitionOracle",
+    "DoubleWell",
+    "evolve",
+    "qsd_sample",
+    "first_escape_times",
+    "exponentiality",
+    "run_parsplice",
+    "ParSpliceRun",
+]

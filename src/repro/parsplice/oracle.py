@@ -1,0 +1,77 @@
+"""Statistical oracle for speculative segment scheduling.
+
+ParSplice "parallelizes over the future" by predicting where the
+trajectory will be and pre-generating segments there.  The oracle is a
+Dirichlet-smoothed empirical transition model learned online from the
+segments seen so far; model quality affects *efficiency only*, never
+accuracy (mispredicted segments simply wait in the store).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["TransitionOracle"]
+
+
+class TransitionOracle:
+    """Online empirical model of segment outcomes.
+
+    ``predict(state, horizon)`` returns the probability distribution of
+    the trajectory's state after ``horizon`` further segments, from
+    which the scheduler draws speculation targets.
+    """
+
+    def __init__(self, nstates: int, alpha: float = 0.5) -> None:
+        if nstates < 1:
+            raise ValueError("nstates must be positive")
+        self.nstates = nstates
+        self.alpha = alpha
+        self._counts = np.zeros((nstates, nstates))
+
+    def observe(self, start: int, end: int) -> None:
+        """Record one segment outcome."""
+        self._counts[start, end] += 1.0
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-stochastic segment-outcome matrix with Dirichlet smoothing.
+
+        Unvisited states default to the identity (stay put), so early
+        speculation concentrates where the trajectory is.
+        """
+        m = self._counts + self.alpha * np.eye(self.nstates)
+        return m / m.sum(axis=1, keepdims=True)
+
+    def predict(self, state: int, horizon: int = 1) -> np.ndarray:
+        """Distribution of the end state after ``horizon`` segments."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        p = np.zeros(self.nstates)
+        p[state] = 1.0
+        if horizon == 0:
+            return p
+        m = self.transition_matrix()
+        return p @ np.linalg.matrix_power(m, horizon)
+
+    def allocate(self, state: int, nworkers: int, horizon: int = 4,
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+        """Worker counts per state for the next scheduling quantum.
+
+        Mixes the predicted occupation over 1..horizon segments ahead and
+        apportions workers proportionally (largest remainders).
+        """
+        if nworkers < 1:
+            raise ValueError("nworkers must be positive")
+        weights = np.zeros(self.nstates)
+        for h in range(1, horizon + 1):
+            weights += self.predict(state, h)
+        weights /= weights.sum()
+        raw = weights * nworkers
+        alloc = np.floor(raw).astype(int)
+        rem = nworkers - alloc.sum()
+        if rem > 0:
+            order = np.argsort(-(raw - alloc))
+            alloc[order[:rem]] += 1
+        return alloc

@@ -1,0 +1,130 @@
+"""Quasi-stationary distributions for overdamped Langevin dynamics.
+
+The theoretical foundation of ParSplice (lecture part 2): after a
+decorrelation time ``t_corr`` inside a state, the *next escape* becomes
+Markovian - exponentially distributed in time and independent of how
+the state was entered.  This module demonstrates the theory on a 1D
+double well with exact (Euler-Maruyama) overdamped Langevin dynamics:
+
+* :func:`evolve` - ensemble propagation with an absorbing boundary,
+  which is literally the lecture's QSD construction (evolve, remove
+  escapees, look at who is left);
+* :func:`qsd_sample` - survivors after a decorrelation time, i.e. draws
+  from the QSD;
+* :func:`first_escape_times` - escape-time statistics from arbitrary
+  initial conditions, used by the tests to show that QSD-started
+  escapes are exponential while boundary-started ones are not.
+
+Units are dimensionless (kT in units of the barrier scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DoubleWell", "evolve", "qsd_sample", "first_escape_times",
+           "exponentiality"]
+
+
+@dataclass(frozen=True)
+class DoubleWell:
+    """Quartic double well ``V(x) = h (x^2 - 1)^2`` with minima at +-1.
+
+    The *state* is the left well ``x < 0``; the absorbing boundary for
+    escape sits at ``x = 0`` (the saddle).
+    """
+
+    height: float = 1.0
+
+    def force(self, x: np.ndarray) -> np.ndarray:
+        """``-dV/dx = -4 h x (x^2 - 1)``."""
+        return -4.0 * self.height * x * (x * x - 1.0)
+
+    def energy(self, x: np.ndarray) -> np.ndarray:
+        return self.height * (x * x - 1.0) ** 2
+
+
+def evolve(well: DoubleWell, x: np.ndarray, kt: float, duration: float,
+           dt: float, rng: np.random.Generator,
+           absorbing: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Euler-Maruyama propagation of an ensemble in the left well.
+
+    Returns ``(positions, alive)``: with ``absorbing=True`` walkers that
+    cross ``x >= 0`` are frozen and flagged dead (the QSD construction);
+    otherwise all walkers keep evolving.
+    """
+    if kt <= 0 or dt <= 0:
+        raise ValueError("kt and dt must be positive")
+    x = np.array(x, dtype=float)
+    alive = np.ones(x.shape, dtype=bool)
+    nsteps = int(round(duration / dt))
+    noise_amp = np.sqrt(2.0 * kt * dt)
+    for _ in range(nsteps):
+        active = alive if absorbing else slice(None)
+        xa = x[active]
+        xa = xa + well.force(xa) * dt + noise_amp * rng.normal(size=xa.shape)
+        x[active] = xa
+        if absorbing:
+            escaped = x >= 0.0
+            alive &= ~escaped
+    return x, alive
+
+
+def qsd_sample(well: DoubleWell, nwalkers: int, kt: float,
+               t_corr: float, dt: float = 1e-3, x0: float = -1.0,
+               seed: int = 0) -> np.ndarray:
+    """Draw from the QSD: survivors of an absorbed ensemble.
+
+    Walkers start at ``x0`` and evolve for ``t_corr`` with the absorbing
+    boundary; the positions of the survivors sample the QSD (up to an
+    exponentially small error in ``t_corr``).
+    """
+    rng = np.random.default_rng(seed)
+    x = np.full(nwalkers, float(x0))
+    x, alive = evolve(well, x, kt, t_corr, dt, rng)
+    out = x[alive]
+    if out.size == 0:
+        raise RuntimeError("no survivors; raise nwalkers or lower t_corr")
+    return out
+
+
+def first_escape_times(well: DoubleWell, x0: np.ndarray, kt: float,
+                       dt: float = 1e-3, t_max: float = 200.0,
+                       seed: int = 1) -> np.ndarray:
+    """First time each walker reaches ``x >= 0``; ``t_max`` for survivors."""
+    rng = np.random.default_rng(seed)
+    x = np.array(x0, dtype=float)
+    n = x.shape[0]
+    times = np.full(n, t_max)
+    alive = np.ones(n, dtype=bool)
+    noise_amp = np.sqrt(2.0 * kt * dt)
+    nsteps = int(round(t_max / dt))
+    for step in range(nsteps):
+        if not alive.any():
+            break
+        xa = x[alive]
+        xa = xa + well.force(xa) * dt + noise_amp * rng.normal(size=xa.shape)
+        x[alive] = xa
+        escaped_local = xa >= 0.0
+        if escaped_local.any():
+            idx = np.nonzero(alive)[0][escaped_local]
+            times[idx] = (step + 1) * dt
+            alive[idx] = False
+    return times
+
+
+def exponentiality(times: np.ndarray) -> float:
+    """Coefficient of variation ``std/mean``; 1 for exponential data.
+
+    The lecture's claim "first escape time is exponentially distributed
+    from the QSD" reduces to this statistic approaching 1.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size < 2:
+        raise ValueError("need at least two escape times")
+    m = times.mean()
+    if m <= 0:
+        raise ValueError("non-positive mean escape time")
+    return float(times.std() / m)

@@ -1,0 +1,28 @@
+"""Performance model regenerating the paper's evaluation figures."""
+
+from .machines import MACHINES, TABLE1_ROWS, MachineSpec
+from .network import AC_NUMBER_DENSITY, SNAP_RCUT, comm_time_per_step, ghost_atoms_per_domain
+from .production import ProductionRun, production_trace
+from .reference import PAPER
+from .scaling import (breakdown, md_performance, parallel_efficiency, pflops,
+                      step_time, strong_scaling, weak_scaling)
+
+__all__ = [
+    "MachineSpec",
+    "MACHINES",
+    "TABLE1_ROWS",
+    "PAPER",
+    "step_time",
+    "md_performance",
+    "strong_scaling",
+    "weak_scaling",
+    "breakdown",
+    "parallel_efficiency",
+    "pflops",
+    "comm_time_per_step",
+    "ghost_atoms_per_domain",
+    "AC_NUMBER_DENSITY",
+    "SNAP_RCUT",
+    "ProductionRun",
+    "production_trace",
+]

@@ -1,0 +1,121 @@
+"""Machine descriptions for the performance model.
+
+Substitution note (DESIGN.md #1): we cannot run on Summit, so every
+machine is described by a small spec - peak FLOPs, GPU count, an
+*effective* SNAP compute rate per node, and a communication profile -
+and the model below regenerates the paper's scaling behavior from the
+compute/communication balance.  The effective rates are anchored on the
+paper's own single-number measurements (e.g. Summit's compute-bound
+plateau of ~6.5 Matom-steps/node-s; Frontera 52x slower per node;
+Selene 1.9x faster; Perlmutter ~parity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "MACHINES", "TABLE1_ROWS", "Table1Row"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named HPC platform.
+
+    Attributes
+    ----------
+    peak_tflops_node:
+        Nominal double-precision peak per node [TFLOPs].
+    snap_rate_node:
+        Compute-only SNAP throughput [atom-steps / node / s] for the
+        paper's production problem (2J=8 carbon), i.e. the rate in the
+        limit of zero communication.
+    gpus_per_node:
+        Domains per node (6 on Summit; ranks map 1:1 to GPUs).
+    eff_bandwidth:
+        Effective inter-node halo-exchange bandwidth [bytes/s] including
+        packing and software overheads (calibrated, hence well below the
+        NIC line rate).
+    latency:
+        Per-step fixed communication cost [s] (message latencies +
+        synchronization).
+    rack_size / inter_rack_factor:
+        Nodes per rack and the bandwidth derating applied once a job
+        spans racks (the 8 -> 64 node dip in paper Fig. 5).
+    mem_bytes_node / bytes_per_atom:
+        Memory capacity model used to find the minimum node count that
+        fits a problem (the left end of each strong-scaling curve).
+    """
+
+    name: str
+    nodes: int
+    peak_tflops_node: float
+    snap_rate_node: float
+    gpus_per_node: int
+    eff_bandwidth: float
+    latency: float
+    rack_size: int = 18
+    inter_rack_factor: float = 0.82
+    mem_bytes_node: float = 96e9
+    bytes_per_atom: float = 4.7e3
+    other_fixed: float = 2.5e-4
+    other_per_atom: float = 1.5e-9
+
+    @property
+    def peak_flops_node(self) -> float:
+        return self.peak_tflops_node * 1e12
+
+    def min_nodes(self, natoms: float) -> int:
+        """Smallest node count whose memory fits ``natoms``."""
+        import math
+
+        return max(1, math.ceil(natoms * self.bytes_per_atom / self.mem_bytes_node))
+
+
+#: The four machines of paper Fig. 6 (specs: TOP500 June 2021; effective
+#: rates anchored on the paper's measurements).
+MACHINES: dict[str, MachineSpec] = {
+    "summit": MachineSpec(
+        name="Summit", nodes=4650, peak_tflops_node=43.2,
+        snap_rate_node=6.55e6, gpus_per_node=6,
+        eff_bandwidth=2.1e9, latency=1.3e-3),
+    "frontera": MachineSpec(
+        name="Frontera", nodes=8008, peak_tflops_node=3.2,
+        snap_rate_node=6.55e6 / 52.0, gpus_per_node=1,
+        eff_bandwidth=2.0e9, latency=4.0e-4, rack_size=90,
+        mem_bytes_node=192e9),
+    "selene": MachineSpec(
+        name="Selene", nodes=560, peak_tflops_node=78.0,
+        snap_rate_node=6.55e6 * 1.95, gpus_per_node=8,
+        eff_bandwidth=4.8e9, latency=8.0e-4, rack_size=20,
+        mem_bytes_node=320e9),
+    "perlmutter": MachineSpec(
+        name="Perlmutter", nodes=1536, peak_tflops_node=39.0,
+        snap_rate_node=6.55e6 * 1.05, gpus_per_node=4,
+        eff_bandwidth=3.2e9, latency=8.0e-4, rack_size=28,
+        mem_bytes_node=160e9),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the kernel paper's Table I (2000 atoms, 26 nbrs, 2J=8)."""
+
+    hardware: str
+    year: int
+    speed_katom_steps: float  # measured, paper value
+    peak_tflops: float        # nominal double-precision peak per node/GPU
+    is_gpu: bool
+
+
+#: Paper Table I verbatim: the baseline implementations across hardware.
+TABLE1_ROWS: list[Table1Row] = [
+    Table1Row("Intel SandyBridge", 2012, 17.7, 0.332, False),
+    Table1Row("IBM PowerPC", 2012, 2.52, 0.205, False),
+    Table1Row("AMD CPU", 2013, 5.35, 0.141, False),
+    Table1Row("NVIDIA K20X", 2013, 2.60, 1.31, True),
+    Table1Row("Intel Haswell", 2016, 29.4, 1.18, False),
+    Table1Row("Intel KNL", 2016, 11.1, 2.61, False),
+    Table1Row("NVIDIA P100", 2016, 21.8, 5.30, True),
+    Table1Row("Intel Broadwell", 2017, 25.4, 1.21, False),
+    Table1Row("NVIDIA V100", 2018, 32.8, 7.8, True),
+]

@@ -1,0 +1,65 @@
+"""Halo-exchange communication model.
+
+Per MD step every rank (one GPU domain) forward-communicates the
+positions of its ghost shell and reverse-communicates forces, so the
+traffic per node is proportional to the ghost-shell atom count - pure
+surface-to-volume geometry, which is what makes the paper's comm
+fraction grow as atoms/GPU shrink (Fig. 4) and strong scaling saturate
+(Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.halo import BYTES_PER_GHOST
+from .machines import MachineSpec
+
+__all__ = ["ghost_atoms_per_domain", "comm_time_per_step", "AC_NUMBER_DENSITY", "SNAP_RCUT"]
+
+#: number density [atoms/A^3] of the paper's compressed a-C samples.
+AC_NUMBER_DENSITY = 0.23
+
+#: neighbor cutoff [A] of the production carbon SNAP model.
+SNAP_RCUT = 4.7
+
+
+def ghost_atoms_per_domain(atoms_per_domain: float,
+                           density: float = AC_NUMBER_DENSITY,
+                           rcut: float = SNAP_RCUT) -> float:
+    """Expected ghost-shell population of a cubic domain.
+
+    ``rho * ((l + 2 rcut)^3 - l^3)`` with ``l`` the domain edge.
+    """
+    if atoms_per_domain <= 0:
+        return 0.0
+    l = (atoms_per_domain / density) ** (1.0 / 3.0)
+    return density * ((l + 2.0 * rcut) ** 3 - l ** 3)
+
+
+def comm_time_per_step(machine: MachineSpec, nodes: int, atoms_per_node: float,
+                       density: float = AC_NUMBER_DENSITY,
+                       rcut: float = SNAP_RCUT) -> float:
+    """Communication seconds per MD step per node.
+
+    * fixed latency/synchronization term,
+    * ghost bytes (forward + reverse => 2x) over the effective bandwidth,
+    * bandwidth derated by ``inter_rack_factor`` when the job spans
+      more than one rack (the paper Fig. 5 dip between 8 and 64 nodes),
+    * single-node jobs exchange through NVLink/host memory, modeled as
+      a 10x faster path.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    per_gpu = atoms_per_node / machine.gpus_per_node
+    ghosts = ghost_atoms_per_domain(per_gpu, density, rcut)
+    bytes_node = 2.0 * ghosts * BYTES_PER_GHOST * machine.gpus_per_node
+    bw = machine.eff_bandwidth
+    if nodes == 1:
+        bw *= 10.0
+        latency = machine.latency * 0.25
+    else:
+        latency = machine.latency
+        if nodes > machine.rack_size:
+            bw *= machine.inter_rack_factor
+    return latency + bytes_node / bw

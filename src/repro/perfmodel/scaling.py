@@ -1,0 +1,106 @@
+"""Strong/weak scaling predictions (paper Figs. 3-6 and headline rates).
+
+The step time of a run with ``natoms`` on ``nodes`` nodes decomposes as
+
+``t_step = t_force + t_comm + t_other``
+
+with the force term set by the machine's compute-only SNAP rate, the
+communication term by the surface-to-volume halo model, and a small
+fixed + per-atom "Other" term (Verlet integration, thermostat,
+occasional I/O - the paper Fig. 4 category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machines import MACHINES, MachineSpec
+from .network import AC_NUMBER_DENSITY, SNAP_RCUT, comm_time_per_step
+
+__all__ = ["StepTime", "step_time", "md_performance", "strong_scaling",
+           "weak_scaling", "breakdown", "parallel_efficiency", "pflops"]
+
+
+@dataclass(frozen=True)
+class StepTime:
+    """Per-step wall time decomposition [s] for one node."""
+
+    force: float
+    comm: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.force + self.comm + self.other
+
+    def fractions(self) -> dict[str, float]:
+        t = self.total
+        return {"SNAP": self.force / t, "MPI Comm": self.comm / t,
+                "Other": self.other / t}
+
+
+def step_time(machine: MachineSpec | str, natoms: float, nodes: int,
+              density: float = AC_NUMBER_DENSITY, rcut: float = SNAP_RCUT,
+              snap_rate: float | None = None) -> StepTime:
+    """Predicted per-step time decomposition."""
+    if isinstance(machine, str):
+        machine = MACHINES[machine]
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if natoms <= 0:
+        raise ValueError("natoms must be positive")
+    apn = natoms / nodes
+    rate = snap_rate if snap_rate is not None else machine.snap_rate_node
+    force = apn / rate
+    comm = comm_time_per_step(machine, nodes, apn, density, rcut)
+    other = machine.other_fixed + machine.other_per_atom * apn
+    return StepTime(force=force, comm=comm, other=other)
+
+
+def md_performance(machine: MachineSpec | str, natoms: float, nodes: int,
+                   **kw) -> float:
+    """MD performance in atom-steps / node / s (the paper's metric)."""
+    st = step_time(machine, natoms, nodes, **kw)
+    return (natoms / nodes) / st.total
+
+
+def strong_scaling(machine: MachineSpec | str, natoms: float,
+                   node_list, **kw) -> dict[str, np.ndarray]:
+    """Strong-scaling sweep: time/step and Matom-steps/node-s vs nodes."""
+    nodes = np.asarray(list(node_list), dtype=int)
+    times = np.array([step_time(machine, natoms, int(n), **kw).total for n in nodes])
+    perf = (natoms / nodes) / times
+    return {"nodes": nodes, "s_per_step": times, "matom_steps_node_s": perf / 1e6}
+
+
+def weak_scaling(machine: MachineSpec | str, atoms_per_node: float,
+                 node_list, **kw) -> dict[str, np.ndarray]:
+    """Weak-scaling sweep at fixed atoms/node (paper Fig. 5)."""
+    nodes = np.asarray(list(node_list), dtype=int)
+    perf = np.array([
+        md_performance(machine, atoms_per_node * int(n), int(n), **kw)
+        for n in nodes])
+    return {"nodes": nodes, "matom_steps_node_s": perf / 1e6}
+
+
+def breakdown(machine: MachineSpec | str, natoms: float, nodes: int,
+              **kw) -> dict[str, float]:
+    """Time-fraction pie (paper Fig. 4)."""
+    return step_time(machine, natoms, nodes, **kw).fractions()
+
+
+def parallel_efficiency(machine: MachineSpec | str, natoms: float,
+                        nodes_hi: int, nodes_lo: int, **kw) -> float:
+    """Efficiency of ``nodes_hi`` relative to ``nodes_lo`` (per-node rate)."""
+    hi = md_performance(machine, natoms, nodes_hi, **kw)
+    lo = md_performance(machine, natoms, nodes_lo, **kw)
+    return hi / lo
+
+
+def pflops(machine: MachineSpec | str, natoms: float, nodes: int,
+           flops_per_atom_step: float, **kw) -> float:
+    """Achieved PFLOPS for a run (performance x flops accounting)."""
+    rate = md_performance(machine, natoms, nodes, **kw) * nodes
+    return rate * flops_per_atom_step / 1e15

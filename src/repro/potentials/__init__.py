@@ -1,0 +1,18 @@
+"""Interatomic potentials: SNAP adapter plus classical substrates."""
+
+from .base import Potential, pair_result
+from .eam import FinnisSinclair
+from .lj import LennardJones
+from .snap_potential import SNAPPotential
+from .sw import StillingerWeber
+from .table import TablePotential
+
+__all__ = [
+    "Potential",
+    "pair_result",
+    "LennardJones",
+    "FinnisSinclair",
+    "StillingerWeber",
+    "TablePotential",
+    "SNAPPotential",
+]

@@ -1,0 +1,59 @@
+"""Common interatomic-potential interface.
+
+Every potential consumes a *full* (both-directions) neighbor pair list
+and returns energy, per-atom energies, forces and the virial tensor.
+This mirrors LAMMPS' pair-style contract and lets the MD driver, the
+domain-decomposed driver, and the trainer treat SNAP and the classical
+baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.snap import EnergyForces, NeighborBatch
+
+__all__ = ["Potential", "pair_result"]
+
+
+class Potential(abc.ABC):
+    """Abstract interatomic potential."""
+
+    #: interaction cutoff [A]; the neighbor list must use at least this.
+    cutoff: float
+
+    @abc.abstractmethod
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        """Evaluate energy/forces/virial for the given neighborhood."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+def pair_result(natoms: int, nbr: NeighborBatch,
+                phi: np.ndarray, dphidr: np.ndarray) -> EnergyForces:
+    """Assemble an :class:`EnergyForces` for a radial pair potential.
+
+    Parameters
+    ----------
+    phi:
+        ``(npairs,)`` bond energy per ordered pair.  Because the full
+        list visits each physical bond twice, atom ``i`` receives
+        ``phi/2`` from each of its ordered pairs and the total energy
+        counts each bond once.
+    dphidr:
+        ``(npairs,)`` radial derivative ``d(phi)/dr``.
+    """
+    peratom = np.zeros(natoms)
+    np.add.at(peratom, nbr.i_idx, 0.5 * phi)
+    # Ordered pair (i -> j) contributes -0.5*dphidr*rhat to the force on j.
+    fvec = (-0.5 * dphidr / nbr.r)[:, None] * nbr.rij
+    forces = np.zeros((natoms, 3))
+    np.add.at(forces, nbr.j_idx, fvec)
+    np.add.at(forces, nbr.i_idx, -fvec)
+    virial = nbr.rij.T @ fvec
+    return EnergyForces(energy=float(peratom.sum()), peratom=peratom,
+                        forces=forces, virial=virial)

@@ -1,0 +1,14 @@
+"""Crystal and amorphous structure builders."""
+
+from .amorphous import AC_DENSITY_EXTREME, melt_quench, random_packed
+from .lattice import bc8_cell, diamond_cell, lattice_system, replicate
+
+__all__ = [
+    "lattice_system",
+    "replicate",
+    "diamond_cell",
+    "bc8_cell",
+    "random_packed",
+    "melt_quench",
+    "AC_DENSITY_EXTREME",
+]

@@ -1,0 +1,12 @@
+"""FitSNAP-style linear training of SNAP coefficients."""
+
+from .dataset import make_carbon_snap, perturbed_lattice_set, train_to_reference
+from .fit import FitResult, LinearSNAPTrainer
+
+__all__ = [
+    "LinearSNAPTrainer",
+    "FitResult",
+    "perturbed_lattice_set",
+    "train_to_reference",
+    "make_carbon_snap",
+]

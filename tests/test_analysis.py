@@ -1,0 +1,138 @@
+"""Tests for analysis: RDF, order parameters, phase ID, thermo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (PhaseClassifier, coordination_numbers, msd,
+                            pressure, pressure_bar, rdf, steinhardt_q)
+from repro.constants import EVA3_TO_BAR, KB
+from repro.core.snap import EnergyForces
+from repro.md import Box, ParticleSystem, build_pairs
+from repro.structures import lattice_system, random_packed
+
+
+class TestRDF:
+    def test_ideal_gas_near_one(self, rng):
+        s = ParticleSystem(positions=rng.uniform(0, 20, (2000, 3)),
+                           box=Box.cubic(20.0))
+        r, g = rdf(s.positions, s.box, rmax=5.0, nbins=25)
+        assert np.mean(g[5:]) == pytest.approx(1.0, abs=0.1)
+
+    def test_crystal_peak_positions(self):
+        s = lattice_system("fcc", a=4.0, reps=(4, 4, 4))
+        r, g = rdf(s.positions, s.box, rmax=5.0, nbins=200)
+        nn = 4.0 / np.sqrt(2)
+        peak_r = r[np.argmax(g * (np.abs(r - nn) < 0.2))]
+        assert peak_r == pytest.approx(nn, abs=0.05)
+
+    def test_needs_two_atoms(self):
+        with pytest.raises(ValueError):
+            rdf(np.zeros((1, 3)), Box.cubic(5.0), rmax=2.0)
+
+    def test_coordination_fcc(self):
+        s = lattice_system("fcc", a=4.0, reps=(3, 3, 3))
+        nn = coordination_numbers(s.positions, s.box, 3.2)
+        assert np.all(nn == 12)
+
+
+class TestSteinhardt:
+    def test_fcc_q6_textbook_value(self):
+        s = lattice_system("fcc", a=4.0, reps=(3, 3, 3))
+        q6 = steinhardt_q(s.positions, s.box, 3.2, l=6)
+        assert np.allclose(q6, 0.5745, atol=1e-3)
+
+    def test_bcc_q6(self):
+        s = lattice_system("bcc", a=3.0, reps=(3, 3, 3))
+        q6 = steinhardt_q(s.positions, s.box, 2.7, l=6, nnn=8)
+        assert np.allclose(q6, 0.6285, atol=1e-3)
+
+    def test_diamond_q3(self):
+        s = lattice_system("diamond", a=3.567, reps=(2, 2, 2))
+        q3 = steinhardt_q(s.positions, s.box, 1.8, l=3, nnn=4)
+        assert np.allclose(q3, 0.7454, atol=1e-3)
+
+    def test_isolated_atom_zero(self):
+        box = Box.cubic(50.0)
+        q = steinhardt_q(np.array([[25.0, 25.0, 25.0], [1.0, 1.0, 1.0]]),
+                         box, 2.0, l=6)
+        assert np.allclose(q, 0.0)
+
+    def test_rotation_invariance(self, rng):
+        from scipy.spatial.transform import Rotation
+
+        s = lattice_system("diamond", a=3.567, reps=(2, 2, 2))
+        rot = Rotation.random(random_state=5).as_matrix()
+        box = Box(lengths=[80.0] * 3, periodic=(False,) * 3)
+        pos = s.positions + 20.0
+        q1 = steinhardt_q(pos, box, 1.8, l=6, nnn=4)
+        q2 = steinhardt_q((pos - 30) @ rot.T + 40, box, 1.8, l=6, nnn=4)
+        assert np.allclose(np.sort(q1), np.sort(q2), atol=1e-9)
+
+
+class TestPhaseClassifier:
+    @pytest.fixture(scope="class")
+    def pc(self):
+        return PhaseClassifier()
+
+    def test_diamond_detected(self, pc):
+        s = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
+        f = pc.fractions(s.positions, s.box)
+        assert f["diamond"] > 0.99
+
+    def test_bc8_detected(self, pc):
+        s = lattice_system("bc8", a=1.55 / 0.615, reps=(3, 3, 3))
+        f = pc.fractions(s.positions, s.box)
+        assert f["bc8"] > 0.99
+
+    def test_random_amorphous(self, pc):
+        s = random_packed(200, density=0.16, seed=9)
+        f = pc.fractions(s.positions, s.box)
+        assert f["amorphous"] > 0.9
+
+    def test_phases_distinct(self, pc):
+        # diamond and BC8 fingerprints are close (both tetrahedral) but
+        # separated well enough for nearest-reference assignment
+        refs = pc.references
+        assert np.linalg.norm(refs[1] - refs[2]) > 0.05
+
+    def test_mixed_sample(self, pc):
+        dia = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
+        # displace half the box into randomness
+        pos = dia.positions.copy()
+        rng = np.random.default_rng(3)
+        upper = pos[:, 2] > dia.box.lengths[2] / 2
+        pos[upper] += rng.uniform(-0.7, 0.7, size=(upper.sum(), 3))
+        f = pc.fractions(pos, dia.box)
+        assert 0.2 < f["diamond"] < 0.8
+        assert f["amorphous"] > 0.1
+
+
+class TestThermo:
+    def test_ideal_gas_pressure(self, rng):
+        s = ParticleSystem(positions=rng.uniform(0, 10, (300, 3)),
+                           box=Box.cubic(10.0))
+        s.seed_velocities(300.0, rng=rng)
+        res = EnergyForces(energy=0.0, peratom=np.zeros(300),
+                           forces=np.zeros((300, 3)), virial=np.zeros((3, 3)))
+        p = pressure(s, res)
+        assert p == pytest.approx(300 * KB * 300.0 / 1000.0, rel=1e-9)
+
+    def test_pressure_bar_conversion(self, rng):
+        s = ParticleSystem(positions=rng.uniform(0, 10, (10, 3)),
+                           box=Box.cubic(10.0))
+        res = EnergyForces(energy=0.0, peratom=np.zeros(10),
+                           forces=np.zeros((10, 3)),
+                           virial=np.eye(3) * 100.0)
+        assert pressure_bar(s, res) == pytest.approx(
+            pressure(s, res) * EVA3_TO_BAR)
+
+    def test_msd_linear_motion(self):
+        frames = np.zeros((5, 2, 3))
+        for t in range(5):
+            frames[t, :, 0] = t * 0.5
+        out = msd(frames)
+        assert np.allclose(out, (np.arange(5) * 0.5) ** 2)
+
+    def test_msd_validation(self):
+        with pytest.raises(ValueError):
+            msd(np.zeros((3, 4)))

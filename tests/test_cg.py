@@ -1,0 +1,91 @@
+"""Tests for Clebsch-Gordan coefficients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cg import cg_tensor, clebsch_gordan
+
+
+class TestKnownValues:
+    def test_spin_half_singlet(self):
+        # <1/2 1/2 1/2 -1/2 | 0 0> = 1/sqrt(2)
+        assert clebsch_gordan(1, 1, 1, -1, 0, 0) == pytest.approx(1 / np.sqrt(2))
+
+    def test_spin_half_singlet_antisymmetric(self):
+        assert clebsch_gordan(1, -1, 1, 1, 0, 0) == pytest.approx(-1 / np.sqrt(2))
+
+    def test_stretched_state(self):
+        # maximal m: always 1
+        assert clebsch_gordan(2, 2, 2, 2, 4, 4) == pytest.approx(1.0)
+        assert clebsch_gordan(4, 4, 2, 2, 6, 6) == pytest.approx(1.0)
+
+    def test_one_one_two(self):
+        # <1 0 1 0 | 2 0> = sqrt(2/3)
+        assert clebsch_gordan(2, 0, 2, 0, 4, 0) == pytest.approx(np.sqrt(2 / 3))
+
+    def test_one_one_zero(self):
+        # <1 m 1 -m | 0 0> = (-1)^(1-m)/sqrt(3)
+        assert clebsch_gordan(2, 2, 2, -2, 0, 0) == pytest.approx(1 / np.sqrt(3))
+        assert clebsch_gordan(2, 0, 2, 0, 0, 0) == pytest.approx(-1 / np.sqrt(3))
+
+
+class TestSelectionRules:
+    def test_m_conservation(self):
+        assert clebsch_gordan(2, 2, 2, 2, 4, 0) == 0.0
+
+    def test_triangle_violation(self):
+        assert clebsch_gordan(2, 0, 2, 0, 8, 0) == 0.0
+
+    def test_parity_violation(self):
+        # j1 + j2 + j odd (in doubled units) is impossible
+        assert clebsch_gordan(2, 0, 2, 0, 3, 0) == 0.0
+
+    def test_m_out_of_range(self):
+        assert clebsch_gordan(2, 4, 2, 0, 4, 4) == 0.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(j1=st.integers(0, 5), j2=st.integers(0, 5))
+def test_orthogonality(j1, j2):
+    """sum_m1m2 C(j1m1 j2m2|jm) C(j1m1 j2m2|j'm') = delta_jj' delta_mm'."""
+    for j in range(abs(j1 - j2), j1 + j2 + 1, 2):
+        for jp in range(abs(j1 - j2), j1 + j2 + 1, 2):
+            h1 = cg_tensor(j1, j2, j)
+            h2 = cg_tensor(j1, j2, jp)
+            g = np.einsum("abi,abj->ij", h1, h2)
+            expected = np.zeros_like(g)
+            if j == jp:
+                d = min(j, jp) + 1
+                expected = np.eye(h1.shape[2], h2.shape[2])
+            assert np.allclose(g, expected, atol=1e-12)
+
+
+class TestTensor:
+    def test_shape(self):
+        assert cg_tensor(2, 4, 4).shape == (3, 5, 5)
+
+    def test_readonly(self):
+        h = cg_tensor(2, 2, 2)
+        with pytest.raises(ValueError):
+            h[0, 0, 0] = 1.0
+
+    def test_cached_identity(self):
+        assert cg_tensor(2, 2, 4) is cg_tensor(2, 2, 4)
+
+    def test_symmetry_exchange(self):
+        # C(j1 m1 j2 m2|jm) = (-1)^(j1+j2-j) C(j2 m2 j1 m1|jm)
+        j1, j2, j = 4, 2, 4
+        h12 = cg_tensor(j1, j2, j)
+        h21 = cg_tensor(j2, j1, j)
+        sign = (-1.0) ** ((j1 + j2 - j) // 2)
+        assert np.allclose(h12, sign * np.transpose(h21, (1, 0, 2)), atol=1e-12)
+
+    def test_odd_factorial_argument_rejected(self):
+        from repro.core.cg import _f
+
+        with pytest.raises(ValueError):
+            _f(3)
+        with pytest.raises(ValueError):
+            _f(-2)

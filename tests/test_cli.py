@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "55" in out and "204" in out
+
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "PFLOPS" in out
+        assert "6.2" in out  # Matom-steps/node-s
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out
+        assert "19,683,000,000" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Summit" in out and "Frontera" in out
+
+    def test_production(self, capsys):
+        assert main(["production", "--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ns of physics" in out
+
+    def test_bench_kernel(self, capsys):
+        assert main(["bench-kernel", "--natoms", "24", "--twojmax", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Katom-steps/s" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

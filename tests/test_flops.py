@@ -1,0 +1,43 @@
+"""Tests for the SNAP FLOP model."""
+
+import pytest
+
+from repro.core.flops import (PAPER_FLOPS_PER_ATOM_STEP, flops_per_atom_step,
+                              kernel_flops_per_atom)
+
+
+class TestCalibration:
+    def test_paper_anchor(self):
+        # 50.0 PFLOPS / (6.21 Matom-steps/node-s * 4650 nodes)
+        assert flops_per_atom_step(8, 26) == pytest.approx(
+            PAPER_FLOPS_PER_ATOM_STEP, rel=1e-12)
+
+    def test_paper_value_magnitude(self):
+        assert PAPER_FLOPS_PER_ATOM_STEP == pytest.approx(1.73e6, rel=0.01)
+
+
+class TestScaling:
+    def test_grows_with_twojmax(self):
+        assert flops_per_atom_step(14, 26) > flops_per_atom_step(8, 26) \
+            > flops_per_atom_step(4, 26)
+
+    def test_linear_in_neighbors_for_pair_kernels(self):
+        k1 = kernel_flops_per_atom(8, 10)
+        k2 = kernel_flops_per_atom(8, 20)
+        for name in ("ui", "dui", "deidrj"):
+            assert k2[name] == pytest.approx(2 * k1[name])
+        # yi is neighbor independent (the adjoint refactorization's win)
+        assert k2["yi"] == pytest.approx(k1["yi"])
+
+    def test_yi_dominates_at_large_j_small_nbr(self):
+        k = kernel_flops_per_atom(14, 4)
+        assert k["yi"] > k["ui"]
+
+    def test_kernel_partition(self):
+        k = kernel_flops_per_atom(8, 26)
+        assert sum(k.values()) == pytest.approx(flops_per_atom_step(8, 26))
+
+    def test_superlinear_j_scaling_of_yi(self):
+        # compute_yi is O(J^7): doubling J should grow it far more than 8x
+        r = kernel_flops_per_atom(14, 26)["yi"] / kernel_flops_per_atom(7, 26)["yi"]
+        assert r > 20.0

@@ -1,0 +1,101 @@
+"""Tests for the SNAP index bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import (SNAPIndex, enumerate_b_triples,
+                                 enumerate_z_triples, num_bispectrum)
+
+
+class TestComponentCounts:
+    def test_paper_count_2j8(self):
+        # the paper: "55 ... bispectrum components" for 2J = 8
+        assert num_bispectrum(8) == 55
+
+    def test_paper_count_2j14(self):
+        # the paper: "204 bispectrum components" for 2J = 14
+        assert num_bispectrum(14) == 204
+
+    def test_zero(self):
+        assert num_bispectrum(0) == 1
+
+    @pytest.mark.parametrize("tj,expected", [(1, 2), (2, 5), (3, 8), (4, 14), (6, 30)])
+    def test_small_counts(self, tj, expected):
+        # reference values from the LAMMPS enumeration (2J=6 -> 30 is the
+        # published tungsten-SNAP size; 8 -> 55 and 14 -> 204 per the paper)
+        assert num_bispectrum(tj) == expected
+
+    def test_cubic_growth(self):
+        # O(J^3) growth claimed by the paper
+        counts = [num_bispectrum(tj) for tj in range(2, 16, 2)]
+        ratios = np.diff(np.log(counts)) / np.diff(np.log(range(2, 16, 2)))
+        assert 2.0 < ratios[-1] < 4.0
+
+
+class TestTripleEnumeration:
+    def test_b_subset_of_z(self):
+        z = set(enumerate_z_triples(8))
+        b = set(enumerate_b_triples(8))
+        assert b <= z
+
+    def test_constraints(self):
+        for (j1, j2, j) in enumerate_z_triples(10):
+            assert 0 <= j2 <= j1 <= 10
+            assert abs(j1 - j2) <= j <= min(10, j1 + j2)
+            assert (j1 + j2 + j) % 2 == 0
+
+    def test_b_ordering_constraint(self):
+        for (j1, j2, j) in enumerate_b_triples(10):
+            assert j >= j1 >= j2
+
+
+class TestSNAPIndex:
+    def test_nu_total(self):
+        idx = SNAPIndex(4)
+        assert idx.nu == sum((j + 1) ** 2 for j in range(5))
+
+    def test_offsets_monotone(self):
+        idx = SNAPIndex(6)
+        assert list(idx.u_offset) == sorted(idx.u_offset)
+        assert idx.u_offset[0] == 0
+
+    def test_layer_slice(self):
+        idx = SNAPIndex(4)
+        sl = idx.layer_slice(3)
+        assert sl.stop - sl.start == 16
+
+    def test_layer_slice_out_of_range(self):
+        idx = SNAPIndex(4)
+        with pytest.raises(ValueError):
+            idx.layer_slice(5)
+        with pytest.raises(ValueError):
+            idx.layer_slice(-1)
+
+    def test_flat_roundtrip(self):
+        idx = SNAPIndex(5)
+        seen = set()
+        for j in range(6):
+            for ma in range(j + 1):
+                for mb in range(j + 1):
+                    f = idx.flat(j, ma, mb)
+                    assert f not in seen
+                    seen.add(f)
+        assert seen == set(range(idx.nu))
+
+    def test_diagonal_indices(self):
+        idx = SNAPIndex(3)
+        d = idx.diagonal_indices()
+        assert len(d) == sum(j + 1 for j in range(4))
+        assert idx.flat(2, 1, 1) in d
+        assert idx.flat(2, 1, 0) not in d
+
+    def test_ncoeff(self):
+        assert SNAPIndex(8).ncoeff == 56
+
+    def test_negative_twojmax_rejected(self):
+        with pytest.raises(ValueError):
+            SNAPIndex(-1)
+
+    def test_b_index_bijective(self):
+        idx = SNAPIndex(8)
+        assert sorted(idx.b_index.values()) == list(range(idx.nb))

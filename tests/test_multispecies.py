@@ -1,0 +1,130 @@
+"""Tests for per-pair weights/cutoffs (multi-species SNAP support)."""
+
+import numpy as np
+import pytest
+
+from conftest import free_cluster_pairs, random_cluster
+from repro.core import SNAP, NeighborBatch, SNAPParams
+from repro.md import Box, build_pairs
+from repro.potentials import SNAPPotential
+from repro.structures import lattice_system
+
+PARAMS = SNAPParams(twojmax=2, rcut=3.0)
+NC = SNAP(PARAMS).index.ncoeff
+
+
+def _with_pairs(nbr, weight=None, rcut=None):
+    return NeighborBatch(i_idx=nbr.i_idx, rij=nbr.rij, r=nbr.r,
+                         j_idx=nbr.j_idx,
+                         pair_weight=weight, pair_rcut=rcut)
+
+
+class TestPairParams:
+    def test_uniform_pair_params_match_scalar(self, rng):
+        snap = SNAP(PARAMS, beta=rng.normal(size=NC))
+        pos = random_cluster(rng, natoms=6)
+        nbr = free_cluster_pairs(pos, 3.0)
+        ref = snap.compute(6, nbr)
+        nbr2 = _with_pairs(nbr, weight=np.ones(nbr.npairs),
+                           rcut=np.full(nbr.npairs, 3.0))
+        got = snap.compute(6, nbr2)
+        assert got.energy == pytest.approx(ref.energy)
+        assert np.allclose(got.forces, ref.forces, atol=1e-12)
+
+    def test_pairs_beyond_pair_rcut_vanish(self, rng):
+        snap = SNAP(PARAMS, beta=rng.normal(size=NC))
+        pos = random_cluster(rng, natoms=5)
+        nbr = free_cluster_pairs(pos, 3.0)
+        # shrink every pair cutoff below all distances -> isolated atoms
+        nbr2 = _with_pairs(nbr, weight=np.ones(nbr.npairs),
+                           rcut=np.full(nbr.npairs, nbr.r.min() * 0.5))
+        res = snap.compute(5, nbr2)
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0),
+                              j_idx=np.zeros(0, dtype=np.intp))
+        iso = snap.compute(1, empty)
+        assert res.energy == pytest.approx(5 * iso.energy)
+        assert np.allclose(res.forces, 0.0, atol=1e-12)
+        assert np.all(np.isfinite(res.forces))
+
+    def test_weight_scales_density(self, rng):
+        snap = SNAP(PARAMS, beta=rng.normal(size=NC))
+        nn = 6
+        rij = random_cluster(rng, natoms=nn, span=2.5) - 1.0
+        r = np.linalg.norm(rij, axis=1)
+        base = NeighborBatch(i_idx=np.zeros(nn, dtype=np.intp), rij=rij, r=r)
+        b1 = snap.compute_descriptors(1, base)
+        double = _with_pairs(NeighborBatch(i_idx=base.i_idx, rij=rij, r=r),
+                             weight=np.full(nn, 2.0),
+                             rcut=np.full(nn, 3.0))
+        b2 = snap.compute_descriptors(1, double)
+        assert not np.allclose(b1, b2)
+
+    def test_forces_fd_with_mixed_params(self, rng):
+        snap = SNAP(PARAMS, beta=rng.normal(size=NC))
+        pos = random_cluster(rng, natoms=5)
+        types = np.array([0, 1, 0, 1, 0])
+        wj = np.array([1.0, 0.7])
+        radii = np.array([1.3, 1.6])
+        rcutfac = 1.0
+
+        def build(p):
+            nbr = free_cluster_pairs(p, 2.0 * radii.max() * rcutfac)
+            ti, tj = types[nbr.i_idx], types[nbr.j_idx]
+            return _with_pairs(nbr, weight=wj[tj],
+                               rcut=(radii[ti] + radii[tj]) * rcutfac)
+
+        res = snap.compute(5, build(pos))
+        h = 1e-6
+        for i in (0, 1):
+            for c in range(3):
+                p = pos.copy()
+                p[i, c] += h
+                ep = snap.compute(5, build(p)).energy
+                p[i, c] -= 2 * h
+                em = snap.compute(5, build(p)).energy
+                assert res.forces[i, c] == pytest.approx(
+                    -(ep - em) / (2 * h), abs=1e-5)
+
+    def test_shape_validation(self, rng):
+        pos = random_cluster(rng, natoms=3)
+        nbr = free_cluster_pairs(pos, 3.0)
+        with pytest.raises(ValueError, match="pair_weight"):
+            _with_pairs(nbr, weight=np.ones(nbr.npairs + 1))
+
+
+class TestSNAPPotentialMultiSpecies:
+    def test_per_type_run(self, rng):
+        pot = SNAPPotential(PARAMS, beta=rng.normal(size=NC),
+                            wj=np.array([1.0, 0.6]),
+                            radii=np.array([1.1, 1.4]), rcutfac=1.0)
+        s = lattice_system("bcc", a=2.6, reps=(2, 2, 2))
+        types = (np.arange(s.natoms) % 2).astype(np.intp)
+        pot.set_types(types)
+        nbr = build_pairs(s.positions, s.box, pot.cutoff)
+        res = pot.compute(s.natoms, nbr)
+        assert np.all(np.isfinite(res.forces))
+        assert np.allclose(res.forces.sum(axis=0), 0.0, atol=1e-9)
+        # swapped species ordering changes the energy (types matter)
+        pot.set_types(1 - types)
+        res2 = pot.compute(s.natoms, nbr)
+        assert np.isfinite(res2.energy)
+
+    def test_requires_types(self, rng):
+        pot = SNAPPotential(PARAMS, wj=np.array([1.0]),
+                            radii=np.array([1.5]), rcutfac=1.0)
+        s = lattice_system("sc", a=2.0, reps=(2, 2, 2))
+        nbr = build_pairs(s.positions, s.box, pot.cutoff)
+        with pytest.raises(ValueError, match="set_types"):
+            pot.compute(s.natoms, nbr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            SNAPPotential(PARAMS, wj=np.array([1.0]))
+        with pytest.raises(ValueError, match="rcutfac"):
+            SNAPPotential(PARAMS, wj=np.array([1.0]), radii=np.array([1.0]))
+
+    def test_cutoff_from_radii(self):
+        pot = SNAPPotential(PARAMS, wj=np.array([1.0, 1.0]),
+                            radii=np.array([1.0, 2.0]), rcutfac=0.9)
+        assert pot.cutoff == pytest.approx(2 * 2.0 * 0.9)

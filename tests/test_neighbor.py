@@ -1,0 +1,136 @@
+"""Tests for neighbor lists."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import Box, NeighborList, build_pairs
+from repro.md.neighbor import _brute_force_pairs, ragged_arange
+
+
+class TestRaggedArange:
+    def test_basic(self):
+        out = ragged_arange(np.array([3, 0, 2]))
+        assert out.tolist() == [0, 1, 2, 0, 1]
+
+    def test_empty(self):
+        assert ragged_arange(np.array([], dtype=int)).size == 0
+
+    def test_all_zero(self):
+        assert ragged_arange(np.array([0, 0])).size == 0
+
+
+def _pair_set(nbr):
+    return sorted(zip(nbr.i_idx.tolist(), nbr.j_idx.tolist(),
+                      np.round(nbr.r, 9).tolist()))
+
+
+class TestBuildPairs:
+    def test_cells_match_brute_force(self, rng):
+        box = Box.cubic(15.0)
+        pos = rng.uniform(0, 15, size=(150, 3))
+        for cutoff in (2.0, 3.3, 4.9):
+            nbr = build_pairs(pos, box, cutoff)
+            ii, jj, rv = _brute_force_pairs(pos, box, cutoff)
+            rr = np.linalg.norm(rv, axis=1)
+            assert _pair_set(nbr) == sorted(
+                zip(ii.tolist(), jj.tolist(), np.round(rr, 9).tolist()))
+
+    def test_full_list_is_symmetric(self, rng):
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(80, 3))
+        nbr = build_pairs(pos, box, 3.0)
+        fwd = set(zip(nbr.i_idx.tolist(), nbr.j_idx.tolist()))
+        assert all((j, i) in fwd for (i, j) in fwd)
+
+    def test_sorted_by_center(self, rng):
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(60, 3))
+        nbr = build_pairs(pos, box, 3.0)
+        assert np.all(np.diff(nbr.i_idx) >= 0)
+
+    def test_distances_below_cutoff(self, rng):
+        box = Box.cubic(10.0)
+        pos = rng.uniform(0, 10, size=(50, 3))
+        nbr = build_pairs(pos, box, 2.7)
+        assert np.all(nbr.r < 2.7)
+        assert np.all(nbr.r > 0)
+
+    def test_small_box_multiple_images(self):
+        # one pair interacting through two images in a tight box
+        box = Box.cubic(2.0)
+        pos = np.array([[0.1, 1.0, 1.0], [1.9, 1.0, 1.0]])
+        nbr = build_pairs(pos, box, 1.0)
+        # separation is 0.2 through the boundary and 1.8 directly
+        assert np.sum((nbr.i_idx == 0) & (nbr.j_idx == 1)) == 1
+        assert np.allclose(sorted(nbr.r), [0.2, 0.2])
+
+    def test_self_image_pairs(self):
+        # an atom can neighbor its own periodic image
+        box = Box.cubic(1.5)
+        pos = np.array([[0.75, 0.75, 0.75]])
+        nbr = build_pairs(pos, box, 1.6)
+        assert nbr.npairs >= 6  # at least the 6 face images
+        assert np.all(nbr.i_idx == 0) and np.all(nbr.j_idx == 0)
+
+    def test_rij_consistency(self, rng):
+        box = Box.cubic(14.0)
+        pos = rng.uniform(0, 14, size=(70, 3))
+        nbr = build_pairs(pos, box, 3.5)
+        assert np.allclose(np.linalg.norm(nbr.rij, axis=1), nbr.r)
+
+    def test_nonperiodic_box(self, rng):
+        box = Box(lengths=[8.0] * 3, periodic=(False, False, False))
+        pos = rng.uniform(0, 8, size=(40, 3))
+        nbr = build_pairs(pos, box, 2.5)
+        direct = np.linalg.norm(pos[nbr.j_idx] - pos[nbr.i_idx], axis=1)
+        assert np.allclose(direct, nbr.r)
+
+    def test_cutoff_too_large_raises(self):
+        box = Box.cubic(2.0)
+        pos = np.array([[1.0, 1.0, 1.0]])
+        with pytest.raises(ValueError, match="too large"):
+            build_pairs(pos, box, 3.5)
+
+
+class TestNeighborList:
+    def test_rebuild_on_motion(self, rng):
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(64, 3))
+        nl = NeighborList(box=box, cutoff=3.0, skin=0.4)
+        nl.get(pos)
+        assert nl.nbuilds == 1
+        nl.get(pos + 0.05)  # below skin/2
+        assert nl.nbuilds == 1
+        pos2 = pos.copy()
+        pos2[0] += 0.5  # beyond skin/2
+        nl.get(pos2)
+        assert nl.nbuilds == 2
+
+    def test_exact_distances_between_rebuilds(self, rng):
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(64, 3))
+        nl = NeighborList(box=box, cutoff=3.0, skin=0.6)
+        nl.get(pos)
+        pos2 = pos + rng.normal(scale=0.05, size=pos.shape)
+        got = nl.get(pos2)
+        exact = build_pairs(pos2, box, 3.0)
+        assert _pair_set(got) == _pair_set(exact)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborList(box=Box.cubic(5.0), cutoff=-1.0)
+        with pytest.raises(ValueError):
+            NeighborList(box=Box.cubic(5.0), cutoff=1.0, skin=-0.1)
+
+
+@settings(deadline=None, max_examples=20)
+@given(n=st.integers(2, 40), cutoff=st.floats(1.0, 4.0), seed=st.integers(0, 99))
+def test_cells_equal_brute_property(n, cutoff, seed):
+    rng = np.random.default_rng(seed)
+    box = Box.cubic(11.0)
+    pos = rng.uniform(0, 11, size=(n, 3))
+    nbr = build_pairs(pos, box, cutoff)
+    ii, jj, rv = _brute_force_pairs(pos, box, cutoff)
+    assert nbr.npairs == len(ii)

@@ -1,0 +1,108 @@
+"""Tests for the quasi-stationary-distribution theory demonstrator.
+
+These check the lecture's three QSD claims on real Langevin dynamics:
+uniqueness/convergence of the survivor distribution, exponential first
+escapes from the QSD, and loss of entry-point memory after the
+decorrelation time.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.parsplice.qsd import (DoubleWell, evolve, exponentiality,
+                                 first_escape_times, qsd_sample)
+
+KT = 0.25
+DT = 2e-3
+
+
+@pytest.fixture(scope="module")
+def well():
+    return DoubleWell(height=1.0)
+
+
+class TestDoubleWell:
+    def test_force_is_minus_gradient(self, well):
+        x = np.linspace(-1.8, -0.1, 30)
+        h = 1e-6
+        fd = -(well.energy(x + h) - well.energy(x - h)) / (2 * h)
+        assert np.allclose(well.force(x), fd, atol=1e-6)
+
+    def test_minima(self, well):
+        assert well.force(np.array([-1.0]))[0] == pytest.approx(0.0)
+        assert well.energy(np.array([-1.0]))[0] == pytest.approx(0.0)
+        assert well.energy(np.array([0.0]))[0] == pytest.approx(well.height)
+
+
+class TestEvolve:
+    def test_absorbing_boundary_kills_escapees(self, well):
+        rng = np.random.default_rng(0)
+        x = np.full(500, -0.05)  # starts a breath away from the saddle
+        _, alive = evolve(well, x, kt=KT, duration=1.0, dt=DT, rng=rng)
+        assert alive.sum() < 500
+
+    def test_non_absorbing_keeps_all(self, well):
+        rng = np.random.default_rng(0)
+        x = np.full(200, -0.05)
+        _, alive = evolve(well, x, kt=KT, duration=0.5, dt=DT, rng=rng,
+                          absorbing=False)
+        assert alive.all()
+
+    def test_validation(self, well):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            evolve(well, np.zeros(3), kt=-1.0, duration=1.0, dt=DT, rng=rng)
+
+
+class TestQSD:
+    def test_survivors_concentrate_near_minimum(self, well):
+        x = qsd_sample(well, 2000, KT, t_corr=2.0, dt=DT, seed=1)
+        assert -1.3 < np.mean(x) < -0.7
+        assert np.all(x < 0)
+
+    def test_qsd_independent_of_start(self, well):
+        """Uniqueness: the QSD does not remember the initial condition."""
+        xa = qsd_sample(well, 2500, KT, t_corr=2.5, dt=DT, x0=-0.3, seed=2)
+        xb = qsd_sample(well, 2500, KT, t_corr=2.5, dt=DT, x0=-1.6, seed=3)
+        assert ks_2samp(xa, xb).pvalue > 0.01
+
+    def test_no_survivors_raises(self, well):
+        with pytest.raises(RuntimeError):
+            qsd_sample(well, 5, kt=3.0, t_corr=50.0, dt=DT, x0=-0.01, seed=4)
+
+
+class TestExponentialEscape:
+    def test_qsd_escapes_are_exponential(self, well):
+        """The central claim: CV of first-escape times from the QSD is 1."""
+        x = qsd_sample(well, 2500, KT, t_corr=2.0, dt=DT, seed=5)
+        t = first_escape_times(well, x[:800], KT, dt=DT, t_max=400.0, seed=6)
+        assert (t >= 400.0).sum() == 0  # all escaped
+        assert exponentiality(t) == pytest.approx(1.0, abs=0.15)
+
+    def test_boundary_start_is_not_exponential(self, well):
+        t = first_escape_times(well, np.full(800, -0.15), KT, dt=DT,
+                               t_max=400.0, seed=7)
+        assert exponentiality(t) > 1.3
+
+    def test_memory_loss_after_decorrelation(self, well):
+        """Escape-time law is entry-point independent after t_corr..."""
+        xa = qsd_sample(well, 2000, KT, t_corr=2.0, dt=DT, x0=-0.3, seed=8)
+        xb = qsd_sample(well, 2000, KT, t_corr=2.0, dt=DT, x0=-1.6, seed=9)
+        ta = first_escape_times(well, xa[:600], KT, dt=DT, t_max=400.0, seed=10)
+        tb = first_escape_times(well, xb[:600], KT, dt=DT, t_max=400.0, seed=11)
+        assert ks_2samp(ta, tb).pvalue > 0.01
+
+    def test_memory_without_decorrelation(self, well):
+        """... and strongly entry-point dependent without it."""
+        ta = first_escape_times(well, np.full(600, -0.3), KT, dt=DT,
+                                t_max=400.0, seed=12)
+        tb = first_escape_times(well, np.full(600, -1.6), KT, dt=DT,
+                                t_max=400.0, seed=13)
+        assert ks_2samp(ta, tb).pvalue < 1e-6
+
+    def test_exponentiality_validation(self):
+        with pytest.raises(ValueError):
+            exponentiality(np.array([1.0]))
+        with pytest.raises(ValueError):
+            exponentiality(np.array([0.0, 0.0]))

@@ -1,0 +1,69 @@
+"""Tests for quadratic SNAP (per-atom effective coefficients)."""
+
+import numpy as np
+import pytest
+
+from conftest import fd_forces, free_cluster_pairs, random_cluster
+from repro.core import SNAP, SNAPParams
+
+PARAMS = SNAPParams(twojmax=2, rcut=3.0)
+NB = SNAP(PARAMS).index.nb
+
+
+@pytest.fixture
+def quad_snap(rng):
+    beta = rng.normal(size=NB + 1)
+    q = 0.1 * rng.normal(size=(NB, NB))
+    return SNAP(PARAMS, beta=beta, quadratic=q)
+
+
+class TestQuadraticSNAP:
+    def test_zero_matrix_equals_linear(self, rng):
+        beta = rng.normal(size=NB + 1)
+        lin = SNAP(PARAMS, beta=beta)
+        quad = SNAP(PARAMS, beta=beta, quadratic=np.zeros((NB, NB)))
+        pos = random_cluster(rng, natoms=5)
+        nbr = free_cluster_pairs(pos, 3.0)
+        r1, r2 = lin.compute(5, nbr), quad.compute(5, nbr)
+        assert r1.energy == pytest.approx(r2.energy)
+        assert np.allclose(r1.forces, r2.forces, atol=1e-12)
+
+    def test_energy_formula(self, rng, quad_snap):
+        pos = random_cluster(rng, natoms=4)
+        nbr = free_cluster_pairs(pos, 3.0)
+        res = quad_snap.compute(4, nbr)
+        b = quad_snap.compute_descriptors(4, nbr)
+        expect = (quad_snap.beta[0] + b @ quad_snap.beta[1:]
+                  + 0.5 * np.einsum("al,lm,am->a", b, quad_snap.quadratic, b))
+        assert np.allclose(res.peratom, expect, atol=1e-10)
+
+    def test_forces_fd(self, rng, quad_snap):
+        pos = random_cluster(rng, natoms=5)
+
+        def energy(p):
+            return quad_snap.compute(p.shape[0], free_cluster_pairs(p, 3.0)).energy
+
+        res = quad_snap.compute(pos.shape[0], free_cluster_pairs(pos, 3.0))
+        fd = fd_forces(energy, pos)
+        assert np.allclose(res.forces, fd, atol=1e-5)
+
+    def test_newton(self, rng, quad_snap):
+        pos = random_cluster(rng, natoms=6)
+        res = quad_snap.compute(6, free_cluster_pairs(pos, 3.0))
+        assert np.allclose(res.forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_asymmetric_input_symmetrized(self, rng):
+        q = rng.normal(size=(NB, NB))
+        snap = SNAP(PARAMS, quadratic=q)
+        assert np.allclose(snap.quadratic, snap.quadratic.T)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="quadratic"):
+            SNAP(PARAMS, quadratic=np.zeros((2, 2)))
+
+    def test_quadratic_changes_energy(self, rng, quad_snap):
+        pos = random_cluster(rng, natoms=4)
+        nbr = free_cluster_pairs(pos, 3.0)
+        lin = SNAP(PARAMS, beta=quad_snap.beta)
+        assert quad_snap.compute(4, nbr).energy != pytest.approx(
+            lin.compute(4, nbr).energy)

@@ -1,0 +1,203 @@
+"""Tests for the SNAP potential: invariances, forces, baseline agreement."""
+
+import numpy as np
+import pytest
+from scipy.spatial.transform import Rotation
+
+from conftest import fd_forces, free_cluster_pairs, random_cluster
+from repro.core import SNAP, NeighborBatch, SNAPParams
+from repro.core.baseline import (descriptor_gradients, reference_descriptors,
+                                 reference_energy_forces)
+
+
+def _env(rng, nn=8, rcut=3.0):
+    """Random single-atom environment within the cutoff annulus."""
+    rij = rng.normal(size=(nn, 3))
+    rij /= np.linalg.norm(rij, axis=1)[:, None]
+    rij *= rng.uniform(0.8, 0.9 * rcut, size=nn)[:, None]
+    r = np.linalg.norm(rij, axis=1)
+    return NeighborBatch(i_idx=np.zeros(nn, dtype=np.intp), rij=rij, r=r)
+
+
+class TestDescriptors:
+    def test_rotation_invariance(self, snap4, rng):
+        nbr = _env(rng)
+        b1 = snap4.compute_descriptors(1, nbr)
+        rot = Rotation.random(random_state=7).as_matrix()
+        rij2 = nbr.rij @ rot.T
+        nbr2 = NeighborBatch(i_idx=nbr.i_idx, rij=rij2,
+                             r=np.linalg.norm(rij2, axis=1))
+        b2 = snap4.compute_descriptors(1, nbr2)
+        assert np.allclose(b1, b2, rtol=1e-12, atol=1e-12)
+
+    def test_permutation_invariance(self, snap4, rng):
+        nbr = _env(rng)
+        perm = rng.permutation(nbr.npairs)
+        nbr2 = NeighborBatch(i_idx=nbr.i_idx, rij=nbr.rij[perm], r=nbr.r[perm])
+        assert np.allclose(snap4.compute_descriptors(1, nbr),
+                           snap4.compute_descriptors(1, nbr2))
+
+    def test_matches_reference(self, snap4, rng):
+        nbr = _env(rng)
+        fast = snap4.compute_descriptors(1, nbr)
+        ref = reference_descriptors(snap4, 1, nbr)
+        assert np.allclose(fast, ref, atol=1e-10)
+
+    def test_isolated_atom_nonzero_without_bzero(self, snap4):
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0))
+        b = snap4.compute_descriptors(1, empty)
+        assert np.abs(b).max() > 0  # self-contribution only
+
+    def test_bzero_removes_self_term(self, rng):
+        params = SNAPParams(twojmax=4, rcut=3.0)
+        snap = SNAP(params, bzero=True)
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0))
+        b = snap.compute_descriptors(1, empty)
+        assert np.allclose(b, 0.0, atol=1e-12)
+
+    def test_neighbor_outside_cutoff_ignored(self, snap4, rng):
+        nbr = _env(rng, nn=5)
+        far = np.array([[0.0, 0.0, 3.2]])  # beyond rcut=3.0
+        nbr2 = NeighborBatch(
+            i_idx=np.zeros(6, dtype=np.intp),
+            rij=np.concatenate([nbr.rij, far]),
+            r=np.concatenate([nbr.r, [3.2]]))
+        assert np.allclose(snap4.compute_descriptors(1, nbr),
+                           snap4.compute_descriptors(1, nbr2))
+
+    def test_smooth_at_cutoff(self, snap4):
+        # a neighbor crossing rcut changes B continuously (fc -> 0)
+        base = _env(np.random.default_rng(0), nn=4)
+        bs = []
+        for eps in (1e-4, 1e-6):
+            extra = np.array([[0.0, 0.0, 3.0 - eps]])
+            nbr = NeighborBatch(i_idx=np.zeros(5, dtype=np.intp),
+                                rij=np.concatenate([base.rij, extra]),
+                                r=np.concatenate([base.r, [3.0 - eps]]))
+            bs.append(snap4.compute_descriptors(1, nbr))
+        b_no = snap4.compute_descriptors(1, base)
+        assert np.abs(bs[1] - b_no).max() < 1e-8
+        assert np.abs(bs[0] - b_no).max() < 1e-4
+
+
+class TestForces:
+    def _system(self, rng, natoms=6):
+        pos = random_cluster(rng, natoms=natoms, span=4.0)
+        return pos
+
+    def test_finite_difference(self, snap4, rng):
+        pos = self._system(rng)
+
+        def energy(p):
+            return snap4.compute(p.shape[0], free_cluster_pairs(p, 3.0)).energy
+
+        res = snap4.compute(pos.shape[0], free_cluster_pairs(pos, 3.0))
+        fd = fd_forces(energy, pos)
+        assert np.allclose(res.forces, fd, atol=5e-6)
+
+    def test_newton_third_law(self, snap4, rng):
+        pos = self._system(rng)
+        res = snap4.compute(pos.shape[0], free_cluster_pairs(pos, 3.0))
+        assert np.allclose(res.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_matches_reference_implementation(self, snap4, rng):
+        pos = self._system(rng)
+        nbr = free_cluster_pairs(pos, 3.0)
+        fast = snap4.compute(pos.shape[0], nbr)
+        ref = reference_energy_forces(snap4, pos.shape[0], nbr)
+        assert fast.energy == pytest.approx(ref.energy, abs=1e-10)
+        assert np.allclose(fast.forces, ref.forces, atol=1e-10)
+        assert np.allclose(fast.virial, ref.virial, atol=1e-10)
+
+    def test_chunk_size_independence(self, rng):
+        pos = self._system(rng, natoms=8)
+        nbr = free_cluster_pairs(pos, 3.0)
+        beta = rng.normal(size=SNAP(SNAPParams(twojmax=4, rcut=3.0)).index.ncoeff)
+        results = []
+        for chunk in (1, 7, 1000):
+            snap = SNAP(SNAPParams(twojmax=4, rcut=3.0, chunk=chunk), beta=beta)
+            results.append(snap.compute(pos.shape[0], nbr))
+        for r in results[1:]:
+            assert np.allclose(r.forces, results[0].forces, atol=1e-12)
+            assert r.energy == pytest.approx(results[0].energy)
+
+    def test_energy_linear_in_beta(self, rng):
+        pos = self._system(rng)
+        nbr = free_cluster_pairs(pos, 3.0)
+        params = SNAPParams(twojmax=4, rcut=3.0)
+        nc = SNAP(params).index.ncoeff
+        b1, b2 = rng.normal(size=nc), rng.normal(size=nc)
+        e1 = SNAP(params, beta=b1).compute(pos.shape[0], nbr).energy
+        e2 = SNAP(params, beta=b2).compute(pos.shape[0], nbr).energy
+        e12 = SNAP(params, beta=b1 + b2).compute(pos.shape[0], nbr).energy
+        assert e12 == pytest.approx(e1 + e2, rel=1e-10)
+
+    def test_rotation_covariance_of_forces(self, snap4, rng):
+        pos = self._system(rng)
+        rot = Rotation.random(random_state=3).as_matrix()
+        f1 = snap4.compute(pos.shape[0], free_cluster_pairs(pos, 3.0)).forces
+        f2 = snap4.compute(pos.shape[0], free_cluster_pairs(pos @ rot.T, 3.0)).forces
+        assert np.allclose(f2, f1 @ rot.T, atol=1e-9)
+
+    def test_translation_invariance(self, snap4, rng):
+        pos = self._system(rng)
+        r1 = snap4.compute(pos.shape[0], free_cluster_pairs(pos, 3.0))
+        r2 = snap4.compute(pos.shape[0], free_cluster_pairs(pos + 11.3, 3.0))
+        assert r1.energy == pytest.approx(r2.energy)
+        assert np.allclose(r1.forces, r2.forces, atol=1e-10)
+
+    def test_requires_j_idx(self, snap4, rng):
+        nbr = _env(rng)
+        with pytest.raises(ValueError, match="j_idx"):
+            snap4.compute(1, nbr)
+
+    def test_timings_recorded(self, snap4, rng):
+        pos = self._system(rng)
+        snap4.compute(pos.shape[0], free_cluster_pairs(pos, 3.0))
+        assert set(snap4.last_timings) == {"compute_ui", "compute_yi",
+                                           "compute_dui_deidrj"}
+        assert all(v >= 0 for v in snap4.last_timings.values())
+
+
+class TestDescriptorGradients:
+    def test_fd(self, snap4, rng):
+        pos = random_cluster(rng, natoms=4, span=3.0)
+        n = pos.shape[0]
+        nbr = free_cluster_pairs(pos, 3.0)
+        db = descriptor_gradients(snap4, n, nbr)
+        h = 1e-6
+        # check dB_l(0)/dr_k for the first pair
+        p0, k = 0, nbr.j_idx[0]
+        for c in range(3):
+            pp = pos.copy()
+            pp[k, c] += h
+            bp = snap4.compute_descriptors(n, free_cluster_pairs(pp, 3.0))[nbr.i_idx[0]]
+            pp[k, c] -= 2 * h
+            bm = snap4.compute_descriptors(n, free_cluster_pairs(pp, 3.0))[nbr.i_idx[0]]
+            fd = (bp - bm) / (2 * h)
+            assert np.allclose(db[p0, c], fd, atol=1e-5)
+
+
+class TestParamsValidation:
+    def test_bad_rcut(self):
+        with pytest.raises(ValueError):
+            SNAPParams(twojmax=4, rcut=0.5, rmin0=1.0)
+
+    def test_bad_twojmax(self):
+        with pytest.raises(ValueError):
+            SNAPParams(twojmax=-2, rcut=3.0)
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            SNAPParams(twojmax=4, rcut=3.0, chunk=0)
+
+    def test_bad_beta_shape(self):
+        with pytest.raises(ValueError, match="beta"):
+            SNAP(SNAPParams(twojmax=4, rcut=3.0), beta=np.ones(3))
+
+    def test_default_beta(self):
+        snap = SNAP(SNAPParams(twojmax=2, rcut=3.0))
+        assert snap.beta[0] == 0.0
+        assert np.all(snap.beta[1:] == 1.0)

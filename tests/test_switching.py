@@ -1,0 +1,64 @@
+"""Tests for the radial switching function."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.switching import sfac_dsfac, switching, switching_derivative
+
+
+class TestSwitching:
+    def test_limits(self):
+        assert switching(np.array([0.0]), 4.0)[0] == 1.0
+        assert switching(np.array([4.0]), 4.0)[0] == 0.0
+        assert switching(np.array([5.0]), 4.0)[0] == 0.0
+
+    def test_midpoint(self):
+        assert switching(np.array([2.0]), 4.0)[0] == pytest.approx(0.5)
+
+    def test_rmin0_plateau(self):
+        r = np.array([0.2, 0.5, 1.0])
+        fc = switching(r, 4.0, rmin0=1.0)
+        assert np.all(fc == 1.0)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0.0, 4.0, 100)
+        fc = switching(r, 4.0)
+        assert np.all(np.diff(fc) <= 1e-15)
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            switching(np.array([1.0]), 1.0, rmin0=2.0)
+
+
+class TestDerivative:
+    @settings(deadline=None, max_examples=25)
+    @given(r=st.floats(0.05, 3.95), rmin0=st.floats(0.0, 0.5))
+    def test_matches_finite_difference(self, r, rmin0):
+        if r <= rmin0 + 1e-3:
+            return
+        h = 1e-7
+        fd = (switching(np.array([r + h]), 4.0, rmin0)
+              - switching(np.array([r - h]), 4.0, rmin0)) / (2 * h)
+        an = switching_derivative(np.array([r]), 4.0, rmin0)
+        assert an[0] == pytest.approx(fd[0], abs=1e-6)
+
+    def test_zero_outside(self):
+        d = switching_derivative(np.array([4.5, 0.0]), 4.0, rmin0=0.5)
+        assert np.all(d == 0.0)
+
+
+class TestSfac:
+    def test_weighting(self):
+        r = np.array([1.0, 2.0])
+        s1, d1 = sfac_dsfac(r, 4.0, wj=1.0)
+        s2, d2 = sfac_dsfac(r, 4.0, wj=2.5)
+        assert np.allclose(s2, 2.5 * s1)
+        assert np.allclose(d2, 2.5 * d1)
+
+    def test_no_switch(self):
+        r = np.array([1.0, 3.9, 4.1])
+        s, d = sfac_dsfac(r, 4.0, switch=False)
+        assert np.allclose(s, [1.0, 1.0, 0.0])
+        assert np.all(d == 0.0)

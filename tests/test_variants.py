@@ -1,0 +1,49 @@
+"""Tests for the TestSNAP optimization-variant ladder."""
+
+import numpy as np
+import pytest
+
+from conftest import free_cluster_pairs, random_cluster
+from repro.core import SNAP, SNAPParams
+from repro.core.variants import VARIANTS, grind_times, run_variant
+
+
+@pytest.fixture
+def problem(rng):
+    params = SNAPParams(twojmax=4, rcut=3.0, chunk=32)
+    snap = SNAP(params, beta=rng.normal(size=SNAP(params).index.ncoeff))
+    pos = random_cluster(rng, natoms=8, span=4.5)
+    return snap, pos.shape[0], free_cluster_pairs(pos, 3.0)
+
+
+class TestVariants:
+    def test_ladder_has_baseline_first(self):
+        assert next(iter(VARIANTS)) == "listing1_baseline"
+
+    def test_all_variants_agree(self, problem):
+        snap, n, nbr = problem
+        ref = run_variant("listing1_baseline", snap, n, nbr)
+        for name in VARIANTS:
+            res = run_variant(name, snap, n, nbr)
+            assert res.energy == pytest.approx(ref.energy, abs=1e-9), name
+            assert np.allclose(res.forces, ref.forces, atol=1e-9), name
+            assert np.allclose(res.virial, ref.virial, atol=1e-9), name
+
+    def test_unknown_variant(self, problem):
+        snap, n, nbr = problem
+        with pytest.raises(KeyError, match="unknown variant"):
+            run_variant("nope", snap, n, nbr)
+
+    def test_grind_times(self, problem):
+        snap, n, nbr = problem
+        timings = grind_times(snap, n, nbr)
+        assert [t.name for t in timings] == list(VARIANTS)
+        assert timings[0].speedup_vs_baseline == pytest.approx(1.0)
+        for t in timings:
+            assert t.seconds > 0
+            assert t.grind_time_per_atom == pytest.approx(t.seconds / n)
+
+    def test_vectorized_faster_than_baseline(self, problem):
+        snap, n, nbr = problem
+        timings = {t.name: t for t in grind_times(snap, n, nbr)}
+        assert timings["vectorized"].speedup_vs_baseline > 1.0

@@ -1,0 +1,134 @@
+"""Tests for the Wigner U-matrix recursion and its gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wigner import (cayley_klein, compute_du_layers, compute_u_layers,
+                               flatten_dlayers, flatten_layers)
+
+
+def _random_vectors(rng, n=5, rmin=0.4, rmax=2.2):
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1)[:, None]
+    v *= rng.uniform(rmin, rmax, size=n)[:, None]
+    return v
+
+
+RCUT = 3.0
+
+
+class TestCayleyKlein:
+    def test_unit_norm(self, rng):
+        rij = _random_vectors(rng)
+        r = np.linalg.norm(rij, axis=1)
+        ck = cayley_klein(rij, r, RCUT)
+        assert np.allclose(np.abs(ck.a) ** 2 + np.abs(ck.b) ** 2, 1.0)
+
+    def test_gradients_fd(self, rng):
+        rij = _random_vectors(rng, n=3)
+        h = 1e-7
+        ck0 = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        for c in range(3):
+            p = rij.copy()
+            p[:, c] += h
+            ckp = cayley_klein(p, np.linalg.norm(p, axis=1), RCUT)
+            p[:, c] -= 2 * h
+            ckm = cayley_klein(p, np.linalg.norm(p, axis=1), RCUT)
+            da_fd = (ckp.a - ckm.a) / (2 * h)
+            db_fd = (ckp.b - ckm.b) / (2 * h)
+            assert np.allclose(ck0.da[:, c], da_fd, atol=1e-6)
+            assert np.allclose(ck0.db[:, c], db_fd, atol=1e-6)
+
+
+class TestULayers:
+    def test_layer_zero_is_one(self, rng):
+        rij = _random_vectors(rng)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        layers = compute_u_layers(ck, 3)
+        assert np.allclose(layers[0], 1.0)
+
+    def test_layer_one_is_cayley_klein_matrix(self, rng):
+        # U^{1/2} = [[a, b], [-b*, a*]] in the VMK convention
+        rij = _random_vectors(rng)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        u1 = compute_u_layers(ck, 1)[1]
+        m = np.abs(u1).reshape(-1, 4)
+        expect = np.stack([np.abs(ck.a), np.abs(ck.b),
+                           np.abs(ck.b), np.abs(ck.a)], axis=1)
+        assert np.allclose(m, expect, atol=1e-12)
+
+    @pytest.mark.parametrize("tj", [1, 2, 4, 6, 8])
+    def test_unitarity(self, rng, tj):
+        rij = _random_vectors(rng, n=4)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        for j, u in enumerate(compute_u_layers(ck, tj)):
+            g = np.einsum("nab,ncb->nac", u, u.conj())
+            assert np.allclose(g, np.eye(j + 1), atol=1e-12), f"layer {j}"
+
+    def test_inversion_symmetry(self, rng):
+        # u[j-ma, j-mb] = (-1)^(ma+mb) conj(u[ma, mb])
+        rij = _random_vectors(rng, n=3)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        for j, u in enumerate(compute_u_layers(ck, 5)):
+            for ma in range(j + 1):
+                for mb in range(j + 1):
+                    lhs = u[:, j - ma, j - mb]
+                    rhs = (-1.0) ** (ma + mb) * np.conj(u[:, ma, mb])
+                    assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_flatten_shape(self, rng):
+        rij = _random_vectors(rng, n=7)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        flat = flatten_layers(compute_u_layers(ck, 4))
+        assert flat.shape == (7, sum((j + 1) ** 2 for j in range(5)))
+
+
+class TestDULayers:
+    @pytest.mark.parametrize("tj", [2, 4])
+    def test_gradients_fd(self, rng, tj):
+        rij = _random_vectors(rng, n=3)
+        h = 1e-6
+
+        def uflat(p):
+            ck = cayley_klein(p, np.linalg.norm(p, axis=1), RCUT)
+            return flatten_layers(compute_u_layers(ck, tj))
+
+        ck0 = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        _, dl = compute_du_layers(ck0, tj)
+        du = flatten_dlayers(dl)
+        for c in range(3):
+            p = rij.copy()
+            p[:, c] += h
+            up = uflat(p)
+            p[:, c] -= 2 * h
+            um = uflat(p)
+            fd = (up - um) / (2 * h)
+            assert np.allclose(du[:, c, :], fd, atol=1e-5)
+
+    def test_du_layer_zero_vanishes(self, rng):
+        rij = _random_vectors(rng)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        _, dl = compute_du_layers(ck, 2)
+        assert np.all(dl[0] == 0.0)
+
+    def test_reuses_precomputed_u(self, rng):
+        rij = _random_vectors(rng)
+        ck = cayley_klein(rij, np.linalg.norm(rij, axis=1), RCUT)
+        ul = compute_u_layers(ck, 3)
+        ul2, _ = compute_du_layers(ck, 3, u_layers=ul)
+        assert ul2 is ul
+
+
+@settings(deadline=None, max_examples=20)
+@given(x=st.floats(-1.5, 1.5), y=st.floats(-1.5, 1.5), z=st.floats(0.2, 1.5))
+def test_unitarity_property(x, y, z):
+    rij = np.array([[x, y, z]])
+    r = np.linalg.norm(rij, axis=1)
+    if r[0] < 0.1 or r[0] > 2.8:
+        return
+    ck = cayley_klein(rij, r, RCUT)
+    for j, u in enumerate(compute_u_layers(ck, 4)):
+        g = np.einsum("nab,ncb->nac", u, u.conj())
+        assert np.allclose(g, np.eye(j + 1), atol=1e-11)
