@@ -1,0 +1,88 @@
+"""Machine-readable benchmark records (``BENCH_snap.json``).
+
+The benchmark suite prints human tables; this module writes the same
+numbers as one JSON document so performance can be tracked across
+commits and hosts.  A record carries the problem definition, per-variant
+wall time / atoms-per-second / speedup, the per-stage split from
+:attr:`repro.core.SNAP.last_timings`, and enough host metadata to make a
+number comparable (or visibly not) with another machine's.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["host_metadata", "make_snap_record", "write_snap_record"]
+
+
+def host_metadata() -> dict:
+    """Identify the machine and software stack behind a measurement."""
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+    }
+
+
+def make_snap_record(problem: dict, seconds: dict[str, float],
+                     natoms: int, reference: str | None = None,
+                     stage_timings: dict[str, dict[str, float]] | None = None,
+                     ) -> dict:
+    """Assemble a benchmark record.
+
+    Parameters
+    ----------
+    problem:
+        Free-form description of the workload (twojmax, natoms, npairs,
+        neighbors per atom, ...).
+    seconds:
+        Wall time per variant for one full force evaluation.
+    natoms:
+        Atom count, for the atoms-per-second figure of merit.
+    reference:
+        Variant name speedups are quoted against (defaults to the
+        slowest variant).
+    stage_timings:
+        Optional per-variant ``SNAP.last_timings`` stage splits.
+    """
+    if not seconds:
+        raise ValueError("seconds must contain at least one variant")
+    if reference is None:
+        reference = max(seconds, key=seconds.get)
+    if reference not in seconds:
+        raise ValueError(f"reference variant {reference!r} not measured")
+    ref_t = seconds[reference]
+    variants = {}
+    for name, t in seconds.items():
+        entry = {
+            "seconds": t,
+            "atoms_per_s": natoms / t if t > 0 else float("inf"),
+            "speedup_vs_" + reference: ref_t / t if t > 0 else float("inf"),
+        }
+        if stage_timings and name in stage_timings:
+            entry["stages"] = dict(stage_timings[name])
+        variants[name] = entry
+    return {
+        "benchmark": "snap_force_kernel",
+        "problem": dict(problem),
+        "reference": reference,
+        "variants": variants,
+        "host": host_metadata(),
+    }
+
+
+def write_snap_record(path: str | Path, record: dict) -> Path:
+    """Write a record produced by :func:`make_snap_record` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -71,6 +71,7 @@ class SNAPIndex:
     twojmax: int
     u_offset: tuple[int, ...] = field(init=False)
     nu: int = field(init=False)
+    layer_slices: tuple[slice, ...] = field(init=False)
     z_triples: tuple[tuple[int, int, int], ...] = field(init=False)
     b_triples: tuple[tuple[int, int, int], ...] = field(init=False)
     b_index: dict = field(init=False)
@@ -85,6 +86,8 @@ class SNAPIndex:
             total += (j + 1) ** 2
         object.__setattr__(self, "u_offset", tuple(offsets))
         object.__setattr__(self, "nu", total)
+        object.__setattr__(self, "layer_slices", tuple(
+            slice(o, o + (j + 1) ** 2) for j, o in enumerate(offsets)))
         zt = tuple(enumerate_z_triples(self.twojmax))
         bt = tuple(t for t in zt if t[2] >= t[0])
         object.__setattr__(self, "z_triples", zt)
@@ -105,8 +108,7 @@ class SNAPIndex:
         """Slice of the flat U vector holding layer ``j`` (doubled)."""
         if not 0 <= j <= self.twojmax:
             raise ValueError(f"layer {j} out of range for twojmax={self.twojmax}")
-        start = self.u_offset[j]
-        return slice(start, start + (j + 1) ** 2)
+        return self.layer_slices[j]
 
     def flat(self, j: int, ma: int, mb: int) -> int:
         """Flat index of element ``(ma, mb)`` of layer ``j``."""

@@ -13,10 +13,13 @@ mirroring the optimized LAMMPS/Kokkos pipeline in NumPy:
    (for the energy) fall out of the same pass.
 3. ``compute_dui/deidrj`` - per-pair gradients contracted against ``Y``
    (paper Eq. 8), evaluated in fixed-size pair chunks so that the
-   intermediate ``dU`` tensor never exceeds a memory budget.  Chunking
-   re-computes ``U`` per pair instead of storing it - the same
+   intermediate ``dU`` tensor never exceeds a memory budget.  Whether
+   the per-pair ``U`` layers are re-computed per chunk or cached from
+   stage 1 is the ``SNAPParams.store_u`` knob - the same
    recompute-vs-store trade the paper uses to raise arithmetic
-   intensity on GPUs (kernel fusion).
+   intensity on GPUs (kernel fusion).  All hot-path array work runs in
+   *layer-major* layout (pair axis innermost) and both force scatters
+   are ``np.add.reduceat`` segment reductions.
 
 The per-kernel wall times of the latest evaluation are kept in
 :attr:`SNAP.last_timings` so benchmarks can report a stage breakdown.
@@ -32,7 +35,9 @@ import numpy as np
 from .cg import cg_tensor
 from .indexing import SNAPIndex
 from .switching import sfac_dsfac
-from .wigner import cayley_klein, compute_du_layers, compute_u_layers, flatten_layers
+from .wigner import (cayley_klein, compute_du_layers_half_lm,
+                     compute_u_layers_lm,
+                     flatten_layers_lm)
 
 __all__ = ["SNAPParams", "NeighborBatch", "EnergyForces", "SNAP"]
 
@@ -44,6 +49,20 @@ class SNAPParams:
     ``twojmax`` is the doubled band limit (paper benchmark sizes: 8 and
     14, giving 55 and 204 bispectrum components).  ``rcut`` is the
     neighbor cutoff in Angstrom.
+
+    ``store_u`` controls the store-vs-recompute trade of the force pass
+    (the arithmetic-intensity knob of the TestSNAP ladder): ``"always"``
+    caches the per-pair switching factors and Wigner ``U`` layers from
+    the density accumulation and reuses them for the gradients,
+    ``"never"`` recomputes them per chunk, and ``"auto"`` stores only
+    when the whole-pair-list cache fits in ``store_u_budget_mb``.
+
+    ``chunk`` is the pair-block size of both passes: large enough to
+    amortize per-chunk dispatch overhead, small enough that the
+    force-pass gradient scratch (O(nu * chunk * 3) complex) stays
+    cache-friendly.  4096 is the measured sweet spot at 2J=8; the
+    pre-fusion kernel shipped with 8192, which at 2J=8 pushes the
+    gradient scratch past typical last-level caches.
     """
 
     twojmax: int = 8
@@ -52,7 +71,9 @@ class SNAPParams:
     rmin0: float = 0.0
     wself: float = 1.0
     switch: bool = True
-    chunk: int = 8192
+    chunk: int = 4096
+    store_u: str = "auto"
+    store_u_budget_mb: float = 256.0
 
     def __post_init__(self) -> None:
         if self.rcut <= self.rmin0:
@@ -61,6 +82,10 @@ class SNAPParams:
             raise ValueError("twojmax must be non-negative")
         if self.chunk < 1:
             raise ValueError("chunk must be positive")
+        if self.store_u not in ("auto", "always", "never"):
+            raise ValueError("store_u must be 'auto', 'always' or 'never'")
+        if self.store_u_budget_mb <= 0:
+            raise ValueError("store_u_budget_mb must be positive")
 
 
 @dataclass
@@ -84,6 +109,7 @@ class NeighborBatch:
     j_idx: np.ndarray | None = None  # neighbor atom ids; needed for forces
     pair_weight: np.ndarray | None = None
     pair_rcut: np.ndarray | None = None
+    _j_perm: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.i_idx = np.ascontiguousarray(self.i_idx, dtype=np.intp)
@@ -91,6 +117,8 @@ class NeighborBatch:
         self.r = np.ascontiguousarray(self.r, dtype=float)
         if self.j_idx is not None:
             self.j_idx = np.ascontiguousarray(self.j_idx, dtype=np.intp)
+            if self.j_idx.shape != self.i_idx.shape:
+                raise ValueError("j_idx must have shape (npairs,)")
         if self.rij.shape != (self.i_idx.shape[0], 3):
             raise ValueError("rij must have shape (npairs, 3)")
         if self.r.shape != self.i_idx.shape:
@@ -106,6 +134,18 @@ class NeighborBatch:
     @property
     def npairs(self) -> int:
         return self.i_idx.shape[0]
+
+    def j_sorted_perm(self) -> np.ndarray:
+        """Stable permutation sorting pairs by neighbor atom (cached).
+
+        Built once per neighbor build so the j-side force scatter can run
+        as a segment reduction instead of an ``np.add.at`` scatter.
+        """
+        if self.j_idx is None:
+            raise ValueError("NeighborBatch.j_idx is required for j_sorted_perm")
+        if self._j_perm is None:
+            self._j_perm = np.argsort(self.j_idx, kind="stable")
+        return self._j_perm
 
 
 def _scatter_sum_sorted(out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
@@ -170,7 +210,10 @@ class SNAP:
         self.quadratic = quadratic
         self._diag = self.index.diagonal_indices()
         self._triple_cache = self._build_triples()
+        self._half_slices, self._nu_half, self._expand_phase = \
+            self._build_half_layout()
         self.last_timings: dict[str, float] = {}
+        self.last_store_u: bool = False
         self.bzero_shift = self._isolated_b() if bzero else np.zeros(self.index.nb)
 
     # ------------------------------------------------------------------
@@ -204,18 +247,47 @@ class SNAP:
             h = cg_tensor(j1, j2, j)
             d1, d2, d = h.shape
             hc = np.ascontiguousarray(h, dtype=np.complex128)
+            # Z inherits the layer symmetry Z[j-ma, j-mb] = (-1)^(ma+mb)
+            # conj(Z[ma, mb]), so only columns mb <= j/2 are computed:
+            # the final GEMM keeps ncol of d output columns and the B
+            # contraction runs on the half-plane with doubled column
+            # weights (the self-mirrored middle column of even j singly).
+            ncol = j // 2 + 1
+            bw = np.full(ncol, 2.0)
+            if j % 2 == 0:
+                bw[-1] = 1.0
             triples.append({
-                "j1": j1, "j2": j2, "j": j,
+                "j1": j1, "j2": j2, "j": j, "ncol": ncol, "bw": bw,
                 "h1": h,
                 # pre-reshaped complex copies so the Z contraction runs as
                 # three BLAS (zgemm) calls instead of generic einsums
                 "hm_left": hc.reshape(d1, d2 * d),
-                "hm_right": hc.reshape(d1 * d2, d),
+                "hm_right_half": np.ascontiguousarray(
+                    hc.reshape(d1 * d2, d)[:, :ncol]),
                 "b_index": idx.b_index.get((j1, j2, j)) if j >= j1 else None,
                 "y_b_index": bidx,
                 "y_factor": factor,
             })
         return triples
+
+    def _build_half_layout(self) -> tuple[list[slice], int, list[np.ndarray]]:
+        """Packed layout of the left-half Y columns plus expansion phases.
+
+        Returns ``(half_slices, nu_half, expand_phase)``: slice of layer
+        ``j`` inside the packed ``(n, nu_half)`` buffer the z-triple pass
+        accumulates into, the packed width, and per layer the
+        ``(-1)^(ma+mb)`` factors of the mirrored columns ``mb > j/2``
+        used to reconstruct the full-plane ``Y``.
+        """
+        half_slices, expand, off = [], [], 0
+        for j in range(self.params.twojmax + 1):
+            ncol = j // 2 + 1
+            half_slices.append(slice(off, off + (j + 1) * ncol))
+            off += (j + 1) * ncol
+            ma = np.arange(j + 1)
+            mb = np.arange(ncol, j + 1)
+            expand.append((-1.0) ** (ma[:, None] + mb[None, :]))
+        return half_slices, off, expand
 
     def _isolated_b(self) -> np.ndarray:
         """Bispectrum of an atom with no neighbors (self-term only)."""
@@ -228,11 +300,29 @@ class SNAP:
     # ------------------------------------------------------------------
     # pipeline stages
     # ------------------------------------------------------------------
-    def compute_utot(self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
+    def _resolve_store_u(self, npairs: int) -> bool:
+        """Decide store-vs-recompute for a pair list of size ``npairs``."""
+        mode = self.params.store_u
+        if mode == "always":
+            return True
+        if mode == "never":
+            return False
+        # per pair: flat U layers (nu complex), Cayley-Klein a/b/da/db
+        # (8 complex), sfac/dsfac (2 float)
+        bytes_per_pair = (self.index.nu + 8) * 16 + 16
+        return npairs * bytes_per_pair <= self.params.store_u_budget_mb * 2**20
+
+    def compute_utot(self, natoms: int, nbr: NeighborBatch,
+                     cache: list | None = None) -> np.ndarray:
         """Stage 1 (compute_ui): accumulate ``U_tot`` per atom.
 
         Returns a complex array of shape ``(natoms, nu)``; the self
         contribution ``wself`` sits on every layer diagonal.
+
+        When ``cache`` is a list, the per-chunk Cayley-Klein parameters,
+        layer-major ``U`` layers and switching factors are appended to it
+        so :meth:`compute_forces_from_y` can reuse them instead of
+        recomputing (the ``store_u`` trade).
         """
         p = self.params
         utot = np.zeros((natoms, self.index.nu), dtype=np.complex128)
@@ -241,13 +331,20 @@ class SNAP:
             sl = slice(lo, min(lo + p.chunk, nbr.npairs))
             rcut, wj, r_eff = self._pair_params(nbr, sl)
             ck = cayley_klein(nbr.rij[sl], r_eff, rcut, p.rfac0, p.rmin0)
-            u = flatten_layers(compute_u_layers(ck, p.twojmax))
-            sfac, _ = sfac_dsfac(nbr.r[sl], rcut, p.rmin0, wj=wj, switch=p.switch)
+            u_lm = compute_u_layers_lm(ck, p.twojmax)
+            sfac, dsfac = sfac_dsfac(nbr.r[sl], rcut, p.rmin0, wj=wj,
+                                     switch=p.switch)
+            w = flatten_layers_lm(u_lm)  # (nu, npc), fresh copy
+            w *= sfac[None, :]
             idx = nbr.i_idx[sl]
             if idx.size and np.all(np.diff(idx) >= 0):
-                _scatter_sum_sorted(utot, idx, u * sfac[:, None])
-            else:
-                np.add.at(utot, idx, u * sfac[:, None])
+                starts = np.flatnonzero(np.r_[True, np.diff(idx) > 0])
+                sums = np.add.reduceat(w, starts, axis=1)
+                utot[idx[starts]] += sums.T
+            elif idx.size:
+                np.add.at(utot, idx, w.T)
+            if cache is not None:
+                cache.append((ck, u_lm, sfac, dsfac))
         return utot
 
     def _pair_params(self, nbr: NeighborBatch, sl: slice):
@@ -262,7 +359,7 @@ class SNAP:
         r = nbr.r[sl]
         if nbr.pair_rcut is not None:
             rcut = nbr.pair_rcut[sl]
-            r_eff = np.minimum(r, rcut * (1.0 - 1e-12) - 1e-300)
+            r_eff = np.minimum(r, rcut * (1.0 - 1e-12))
         else:
             rcut = p.rcut
             r_eff = r
@@ -273,6 +370,13 @@ class SNAP:
         n = flat.shape[0]
         return flat[:, self.index.layer_slice(j)].reshape(n, j + 1, j + 1)
 
+    # Atoms per block of the z-triple pass.  Every quantity is computed
+    # per-atom-row, so blocking changes nothing bitwise; it keeps the
+    # per-triple GEMM temporaries (O(block * (j+1)^3) complex) resident
+    # in cache instead of streaming whole-population arrays through DRAM
+    # once per triple.
+    _B_Y_BLOCK = 256
+
     def _compute_b_y(self, utot: np.ndarray, want_y: bool = True,
                      want_b: bool = True, beta_eff: np.ndarray | None = None
                      ) -> tuple[np.ndarray | None, np.ndarray | None]:
@@ -282,6 +386,7 @@ class SNAP:
         immediately consumed - accumulated into ``Y`` (adjoint, Eq. 7)
         and contracted with ``U*`` into ``B`` (Eq. 3) - so ``Z`` is never
         stored, which is precisely the paper's memory-footprint win.
+        Atoms are processed in cache-sized blocks (see ``_B_Y_BLOCK``).
 
         ``beta_eff`` optionally supplies *per-atom* linear coefficients of
         shape ``(natoms, nb)`` - this is how quadratic SNAP reuses the
@@ -289,36 +394,67 @@ class SNAP:
         gradient is linear-SNAP with ``beta + Q B(i)``).
         """
         n = utot.shape[0]
+        if n > self._B_Y_BLOCK:
+            b_out = np.empty((n, self.index.nb)) if want_b else None
+            y_out = (np.empty((n, self.index.nu), dtype=np.complex128)
+                     if want_y else None)
+            for lo in range(0, n, self._B_Y_BLOCK):
+                sl = slice(lo, min(lo + self._B_Y_BLOCK, n))
+                bb, yy = self._compute_b_y(
+                    utot[sl], want_y=want_y, want_b=want_b,
+                    beta_eff=None if beta_eff is None else beta_eff[sl])
+                if want_b:
+                    b_out[sl] = bb
+                if want_y:
+                    y_out[sl] = yy
+            return b_out, y_out
         beta = self.beta
         b_out = np.zeros((n, self.index.nb)) if want_b else None
         y_out = np.zeros((n, self.index.nu), dtype=np.complex128) if want_y else None
+        y_half = (np.zeros((n, self._nu_half), dtype=np.complex128)
+                  if want_y else None)
         for t in self._triple_cache:
             j1, j2, j = t["j1"], t["j2"], t["j"]
             u1 = self._layer_view(utot, j1)
             u2 = self._layer_view(utot, j2)
             # Z[a,i,jj] = H[p,q,i] H[r,s,jj] U1[a,p,r] U2[a,q,s] evaluated
-            # as three GEMMs (see _build_triples for the reshaped H).
+            # as three GEMMs (see _build_triples for the reshaped H);
+            # only the left-half columns jj = mb <= j/2 are produced, the
+            # conjugate half follows from the layer symmetry.
             d1, d2, d = j1 + 1, j2 + 1, j + 1
+            ncol = t["ncol"]
             t1 = np.tensordot(u1, t["hm_left"], axes=([1], [0]))  # (a,r,q*i)
             t1 = t1.reshape(n, d1, d2, d).transpose(0, 1, 3, 2)   # (a,r,i,q)
             t2 = np.matmul(t1.reshape(n, d1 * d, d2), u2)         # (a,r*i,s)
             t2 = t2.reshape(n, d1, d, d2).transpose(0, 2, 1, 3)   # (a,i,r,s)
             z = np.matmul(np.ascontiguousarray(t2.reshape(n, d, d1 * d2)),
-                          t["hm_right"])                          # (a,i,jj)
+                          t["hm_right_half"])                     # (a,i,jj<=j/2)
             if want_b and t["b_index"] is not None:
-                uj = self._layer_view(utot, j)
+                uj = self._layer_view(utot, j)[:, :, :ncol]
                 b_out[:, t["b_index"]] = np.einsum(
-                    "aij,aij->a", z.real, uj.real) + np.einsum(
-                    "aij,aij->a", z.imag, uj.imag)
+                    "aij,aij,j->a", z.real, uj.real, t["bw"]) + np.einsum(
+                    "aij,aij,j->a", z.imag, uj.imag, t["bw"])
             if want_y:
-                sl = self.index.layer_slice(j)
+                hsl = self._half_slices[j]
                 if beta_eff is not None:
                     betaj = t["y_factor"] * beta_eff[:, t["y_b_index"]]
-                    y_out[:, sl] += betaj[:, None] * z.reshape(n, -1)
+                    y_half[:, hsl] += betaj[:, None] * z.reshape(n, -1)
                 else:
                     betaj = t["y_factor"] * beta[1 + t["y_b_index"]]
                     if betaj != 0.0:
-                        y_out[:, sl] += betaj * z.reshape(n, -1)
+                        y_half[:, hsl] += betaj * z.reshape(n, -1)
+        if want_y:
+            # expand the accumulated half columns to the full-plane Y via
+            # Y[j-ma, j-mb] = (-1)^(ma+mb) conj(Y[ma, mb])
+            for j in range(self.params.twojmax + 1):
+                ncol = j // 2 + 1
+                zh = y_half[:, self._half_slices[j]].reshape(n, j + 1, ncol)
+                full = np.empty((n, j + 1, j + 1), dtype=np.complex128)
+                full[:, :, :ncol] = zh
+                if ncol <= j:
+                    src = zh[:, ::-1, j - ncol::-1]
+                    full[:, :, ncol:] = self._expand_phase[j] * np.conj(src)
+                y_out[:, self.index.layer_slice(j)] = full.reshape(n, -1)
         return b_out, y_out
 
     def compute_descriptors(self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
@@ -339,59 +475,132 @@ class SNAP:
         from .baseline import descriptor_gradients  # local import: heavy path
         return descriptor_gradients(self, natoms, nbr)
 
-    def compute_forces_from_y(self, natoms: int, nbr: NeighborBatch,
-                              y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Stages 3-4 (compute_duidrj / compute_deidrj / update_forces).
+    def _fold_y(self, y: np.ndarray) -> np.ndarray:
+        """Fold the conjugate half-plane of ``Y`` into its left half.
 
-        Returns ``(forces, virial)``.  Processes pairs in chunks,
-        recomputing ``U`` per pair to bound memory (kernel fusion).
+        Returns ``(natoms, nu_half)`` with
+        ``Yf[ma, mb] = conj(Y[ma, mb]) + (-1)^(ma+mb) Y[j-ma, j-mb]``
+        (middle column of even layers halved), so that
+        ``Re(Y : conj(X)) == Re(sum_half Yf * X)`` for any ``X`` with the
+        layer conjugation symmetry.  Folding is per atom - the per-pair
+        contraction then only gathers ``nu_half`` rows.
+        """
+        n = y.shape[0]
+        out = np.empty((n, self._nu_half), dtype=np.complex128)
+        for j in range(self.params.twojmax + 1):
+            ncol = j // 2 + 1
+            yj = y[:, self.index.layer_slice(j)].reshape(n, j + 1, j + 1)
+            ma = np.arange(j + 1)
+            phase = (-1.0) ** (ma[:, None] + ma[None, :ncol])
+            o = out[:, self._half_slices[j]].reshape(n, j + 1, ncol)
+            np.conjugate(yj[:, :, :ncol], out=o)
+            o += phase * yj[:, ::-1, ::-1][:, :, :ncol]
+            if j % 2 == 0:
+                o[:, :, -1] *= 0.5
+        return out
+
+    def _compute_dedr(self, nbr: NeighborBatch, y: np.ndarray,
+                      cache: list | None = None, start: int = 0,
+                      stop: int | None = None,
+                      scratch: dict | None = None) -> np.ndarray:
+        """Stage 3 (compute_duidrj / compute_deidrj): per-pair gradients.
+
+        Returns ``dedr`` of shape ``(stop - start, 3)``: the contribution
+        of pair ``k`` to the force on its central atom,
+        ``dE_i/dr_k = Re( Y : conj(dU_tot) )`` with
+        ``dU_tot = sfac * dU + (dsfac * uhat) * U``.
+
+        Every operation is per-pair, so the result is independent of
+        chunking and of how the range ``[start, stop)`` is sharded - the
+        property the multi-core shard evaluator relies on for bitwise
+        reproducibility.  ``cache`` entries (from :meth:`compute_utot`)
+        are indexed on the global chunk grid, so ``start`` must be a
+        multiple of ``params.chunk`` when a cache is supplied.
         """
         p = self.params
+        stop = nbr.npairs if stop is None else stop
+        if cache is not None and start % p.chunk:
+            raise ValueError("start must be chunk-aligned when using a cache")
+        dedr_all = np.empty((stop - start, 3))
+        if scratch is None:
+            scratch = {}
+        yfold = self._fold_y(y)
+        for lo in range(start, stop, p.chunk):
+            sl = slice(lo, min(lo + p.chunk, stop))
+            rij, r = nbr.rij[sl], nbr.r[sl]
+            if cache is not None:
+                ck, u_lm, sfac, dsfac = cache[lo // p.chunk]
+            else:
+                rcut, wj, r_eff = self._pair_params(nbr, sl)
+                ck = cayley_klein(rij, r_eff, rcut, p.rfac0, p.rmin0)
+                u_lm = compute_u_layers_lm(ck, p.twojmax)
+                sfac, dsfac = sfac_dsfac(r, rcut, p.rmin0, wj=wj,
+                                         switch=p.switch)
+            du_lm = compute_du_layers_half_lm(ck, p.twojmax, u_lm,
+                                              scratch=scratch)
+            npc = r.shape[0]
+            uhat = rij / r[:, None]
+            # Contract the pre-folded Y (see _fold_y) against U and dU
+            # over the left half-plane only (columns mb <= j/2), in
+            # layer-major layout: one einsum pair per layer over a long
+            # contiguous pair axis.  Under Re(.) each folded term
+            # contributes exactly its conjugate mirror's value, so the
+            # half-plane sum equals the full-plane one.
+            ylm = yfold[nbr.i_idx[sl]].T  # (nu_half, npc)
+            radial = np.zeros(npc, dtype=np.complex128)  # Y : conj(U)
+            dedr = np.zeros((npc, 3), dtype=np.complex128)
+            for j in range(p.twojmax + 1):
+                ncol = j // 2 + 1
+                yf = ylm[self._half_slices[j]].reshape(j + 1, ncol, npc)
+                radial += np.einsum("abp,abp->p", yf, u_lm[j][:, :ncol])
+                dedr += np.einsum("abp,abpc->pc", yf, du_lm[j])
+            dedr_all[lo - start:sl.stop - start] = \
+                dedr.real * sfac[:, None] + (dsfac * radial.real)[:, None] * uhat
+        return dedr_all
+
+    def _accumulate_forces(self, natoms: int, nbr: NeighborBatch,
+                           dedr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stage 4 (update_forces): scatter per-pair ``dedr`` into forces.
+
+        Both scatters run as ``np.add.reduceat`` segment sums: the i-side
+        uses the CSR sort of the pair list, the j-side the cached
+        j-sorted permutation of the batch.
+        """
         forces = np.zeros((natoms, 3))
-        virial = np.zeros((3, 3))
+        if nbr.i_idx.size and np.all(np.diff(nbr.i_idx) >= 0):
+            _scatter_sum_sorted(forces, nbr.i_idx, dedr)
+        else:
+            np.add.at(forces, nbr.i_idx, dedr)
+        perm = nbr.j_sorted_perm()
+        _scatter_sum_sorted(forces, nbr.j_idx[perm], -dedr[perm])
+        virial = -(nbr.rij.T @ dedr)
+        return forces, virial
+
+    def compute_forces_from_y(self, natoms: int, nbr: NeighborBatch,
+                              y: np.ndarray, cache: list | None = None
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        """Stages 3-4 (compute_duidrj / compute_deidrj / update_forces).
+
+        Returns ``(forces, virial)``.  Processes pairs in chunks; with
+        ``cache`` from :meth:`compute_utot` the per-pair ``U`` layers and
+        switching factors are reused, otherwise they are recomputed per
+        chunk to bound memory (kernel fusion).
+        """
         if nbr.j_idx is None:
             raise ValueError("NeighborBatch.j_idx is required for forces")
-        idx = self.index
-        for lo in range(0, nbr.npairs, p.chunk):
-            sl = slice(lo, min(lo + p.chunk, nbr.npairs))
-            rij, r = nbr.rij[sl], nbr.r[sl]
-            rcut, wj, r_eff = self._pair_params(nbr, sl)
-            ck = cayley_klein(rij, r_eff, rcut, p.rfac0, p.rmin0)
-            u_layers, du_layers = compute_du_layers(ck, p.twojmax)
-            sfac, dsfac = sfac_dsfac(r, rcut, p.rmin0, wj=wj, switch=p.switch)
-            uhat = rij / r[:, None]
-            yp = y[nbr.i_idx[sl]]
-            # dE_i/dr_k = Re( Y : conj(dU_tot) ) with
-            # dU_tot = sfac * dU + (dsfac * uhat) * U; contract per layer
-            # so neither dU_tot nor a flattened gradient is materialized.
-            npc = r.shape[0]
-            radial = np.zeros(npc)   # Re(Y : conj(U)), the dsfac term
-            dedr = np.zeros((npc, 3))
-            for j, (uj, duj) in enumerate(zip(u_layers, du_layers)):
-                yj = yp[:, idx.layer_slice(j)].reshape(npc, j + 1, j + 1)
-                radial += np.einsum("pab,pab->p", yj.real, uj.real) + \
-                    np.einsum("pab,pab->p", yj.imag, uj.imag)
-                dedr += np.einsum("pab,pcab->pc", yj.real, duj.real) + \
-                    np.einsum("pab,pcab->pc", yj.imag, duj.imag)
-            dedr = dedr * sfac[:, None] + (dsfac * radial)[:, None] * uhat
-            np.add.at(forces, nbr.i_idx[sl], dedr)
-            np.add.at(forces, nbr.j_idx[sl], -dedr)
-            virial -= rij.T @ dedr
-        return forces, virial
+        dedr = self._compute_dedr(nbr, y, cache=cache)
+        return self._accumulate_forces(natoms, nbr, dedr)
 
     # ------------------------------------------------------------------
     # public evaluation
     # ------------------------------------------------------------------
-    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
-        """Full energy/force/virial evaluation (the paper's force kernel).
+    def _peratom_and_y(self, utot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stage 2: per-atom energies and the adjoint ``Y`` from ``U_tot``.
 
         With a ``quadratic`` coefficient matrix set, the model is
-        ``E_i = beta0 + beta . B_i + 0.5 B_i^T Q B_i`` and the force pass
-        runs with the per-atom effective coefficients ``beta + Q B_i``.
+        ``E_i = beta0 + beta . B_i + 0.5 B_i^T Q B_i`` and ``Y`` is built
+        with the per-atom effective coefficients ``beta + Q B_i``.
         """
-        t0 = time.perf_counter()
-        utot = self.compute_utot(natoms, nbr)
-        t1 = time.perf_counter()
         if self.quadratic is None:
             b, y = self._compute_b_y(utot)
             bc = b - self.bzero_shift
@@ -403,8 +612,24 @@ class SNAP:
             beta_eff = self.beta[1:][None, :] + qb
             _, y = self._compute_b_y(utot, want_b=False, beta_eff=beta_eff)
             peratom = self.beta[0] + bc @ self.beta[1:] + 0.5 * np.sum(bc * qb, axis=1)
+        return peratom, y
+
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        """Full energy/force/virial evaluation (the paper's force kernel).
+
+        Depending on ``params.store_u``, the per-pair ``U`` layers and
+        switching factors from stage 1 are either cached and reused by
+        the force pass or recomputed per chunk (store-vs-recompute);
+        :attr:`last_store_u` records the decision taken.
+        """
+        t0 = time.perf_counter()
+        self.last_store_u = self._resolve_store_u(nbr.npairs)
+        cache = [] if self.last_store_u else None
+        utot = self.compute_utot(natoms, nbr, cache=cache)
+        t1 = time.perf_counter()
+        peratom, y = self._peratom_and_y(utot)
         t2 = time.perf_counter()
-        forces, virial = self.compute_forces_from_y(natoms, nbr, y)
+        forces, virial = self.compute_forces_from_y(natoms, nbr, y, cache=cache)
         t3 = time.perf_counter()
         self.last_timings = {
             "compute_ui": t1 - t0,

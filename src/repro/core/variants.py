@@ -19,11 +19,25 @@ benchmark reports grind time relative to the baseline:
     cutting memory and the force complexity from O(J^5 N_nbor) to
     O(J^3 N_nbor) per atom.
 ``vectorized``
-    The production kernel: all loops pushed into array operations
-    (the NumPy analog of mapping loops onto GPU thread hierarchies).
+    The first vectorized kernel: all loops pushed into array operations
+    (the NumPy analog of mapping loops onto GPU thread hierarchies);
+    per-layer einsum contractions and ``np.add.at`` force scatters.
 ``vectorized_chunked``
-    Production kernel with pair chunking: bounds intermediate memory by
-    recomputing ``U`` per chunk (the kernel-fusion/recompute trade).
+    The vectorized kernel with pair chunking: bounds intermediate memory
+    by recomputing ``U`` per chunk (the kernel-fusion/recompute trade).
+``fused``
+    The production hot path (``SNAP.compute`` with ``store_u="never"``):
+    layer-major Wigner recursions, whole-vector BLAS-style force
+    contraction and segment-reduced (``np.add.reduceat``) accumulation
+    on both scatter sides, still recomputing ``U`` in the force pass.
+``stored_u``
+    The production hot path with ``store_u="always"``: per-pair ``U``
+    layers and switching factors cached from stage 1 and reused by the
+    force pass - the store side of the arithmetic-intensity trade.
+``sharded``
+    The ``stored_u`` rung with the force pass sharded across a worker
+    pool (:class:`repro.parallel.shards.ShardedSNAP`), bitwise identical
+    to the serial result.
 
 All rungs produce identical energies and forces; the agreement test is
 part of the suite.
@@ -32,14 +46,15 @@ part of the suite.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from .baseline import reference_energy_forces
 from .snap import SNAP, EnergyForces, NeighborBatch
 
-__all__ = ["VARIANTS", "run_variant", "grind_times", "VariantTiming"]
+__all__ = ["VARIANTS", "run_variant", "grind_times", "VariantTiming",
+           "with_params"]
 
 
 def _listing1(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
@@ -127,23 +142,97 @@ def _listing5_adjoint_impl(snap: SNAP, natoms: int, nbr: NeighborBatch) -> Energ
                         forces=forces, virial=virial)
 
 
-def _vectorized(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
-    """Production kernel with an effectively unbounded chunk."""
-    from .snap import SNAPParams
+def with_params(snap: SNAP, **overrides) -> SNAP:
+    """Shallow clone of ``snap`` with dataclass param fields replaced.
 
-    big = SNAP.__new__(SNAP)
-    big.__dict__.update(snap.__dict__)
-    big.params = SNAPParams(**{**_params_dict(snap.params), "chunk": max(nbr.npairs, 1)})
-    return big.compute(natoms, nbr)
+    The clone shares the (expensive) precomputed triple cache and index
+    with the original; only the hyperparameter record differs.
+    """
+    clone = SNAP.__new__(SNAP)
+    clone.__dict__.update(snap.__dict__)
+    clone.params = replace(snap.params, **overrides)
+    clone.last_timings = {}
+    return clone
+
+
+def _legacy_forces_from_y(snap: SNAP, natoms: int, nbr: NeighborBatch,
+                          y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The pre-fusion force pass, preserved as a ladder rung.
+
+    Pair-major Wigner recursion recomputed per chunk, per-layer einsum
+    contractions on strided real/imaginary views, and ``np.add.at``
+    scatter adds for both force sides - the hot path this repo shipped
+    before the fused/stored-U/segment-reduced pipeline replaced it.
+    """
+    from .switching import sfac_dsfac
+    from .wigner import cayley_klein, compute_du_layers
+
+    p = snap.params
+    forces = np.zeros((natoms, 3))
+    virial = np.zeros((3, 3))
+    if nbr.j_idx is None:
+        raise ValueError("NeighborBatch.j_idx is required for forces")
+    idx = snap.index
+    for lo in range(0, nbr.npairs, p.chunk):
+        sl = slice(lo, min(lo + p.chunk, nbr.npairs))
+        rij, r = nbr.rij[sl], nbr.r[sl]
+        rcut, wj, r_eff = snap._pair_params(nbr, sl)
+        ck = cayley_klein(rij, r_eff, rcut, p.rfac0, p.rmin0)
+        u_layers, du_layers = compute_du_layers(ck, p.twojmax)
+        sfac, dsfac = sfac_dsfac(r, rcut, p.rmin0, wj=wj, switch=p.switch)
+        uhat = rij / r[:, None]
+        yp = y[nbr.i_idx[sl]]
+        npc = r.shape[0]
+        radial = np.zeros(npc)
+        dedr = np.zeros((npc, 3))
+        for j, (uj, duj) in enumerate(zip(u_layers, du_layers)):
+            yj = yp[:, idx.layer_slice(j)].reshape(npc, j + 1, j + 1)
+            radial += np.einsum("pab,pab->p", yj.real, uj.real) + \
+                np.einsum("pab,pab->p", yj.imag, uj.imag)
+            dedr += np.einsum("pab,pcab->pc", yj.real, duj.real) + \
+                np.einsum("pab,pcab->pc", yj.imag, duj.imag)
+        dedr = dedr * sfac[:, None] + (dsfac * radial)[:, None] * uhat
+        np.add.at(forces, nbr.i_idx[sl], dedr)
+        np.add.at(forces, nbr.j_idx[sl], -dedr)
+        virial -= rij.T @ dedr
+    return forces, virial
+
+
+def _legacy_compute(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    """Full evaluation through the preserved pre-fusion force pass."""
+    utot = snap.compute_utot(natoms, nbr)
+    peratom, y = snap._peratom_and_y(utot)
+    forces, virial = _legacy_forces_from_y(snap, natoms, nbr, y)
+    return EnergyForces(energy=float(peratom.sum()), peratom=peratom,
+                        forces=forces, virial=virial)
+
+
+def _vectorized(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    """Pre-fusion kernel with an effectively unbounded chunk."""
+    return _legacy_compute(with_params(snap, chunk=max(nbr.npairs, 1)),
+                           natoms, nbr)
 
 
 def _vectorized_chunked(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
-    return snap.compute(natoms, nbr)
+    return _legacy_compute(snap, natoms, nbr)
 
 
-def _params_dict(params) -> dict:
-    return {k: getattr(params, k) for k in
-            ("twojmax", "rcut", "rfac0", "rmin0", "wself", "switch", "chunk")}
+def _fused(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    return with_params(snap, store_u="never").compute(natoms, nbr)
+
+
+def _stored_u(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    return with_params(snap, store_u="always").compute(natoms, nbr)
+
+
+def _sharded(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    from ..parallel.shards import ShardedSNAP
+
+    ev = ShardedSNAP(with_params(snap, store_u="always"), nworkers=2)
+    try:
+        return ev.compute(natoms, nbr)
+    finally:
+        ev.close()
 
 
 #: ordered ladder, baseline first (the paper's Figs. 2-3 x-axis).
@@ -153,6 +242,9 @@ VARIANTS = {
     "listing5_adjoint": _listing5_adjoint_impl,
     "vectorized": _vectorized,
     "vectorized_chunked": _vectorized_chunked,
+    "fused": _fused,
+    "stored_u": _stored_u,
+    "sharded": _sharded,
 }
 
 

@@ -23,7 +23,9 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["CayleyKlein", "cayley_klein", "compute_u_layers", "compute_du_layers",
-           "flatten_layers", "flatten_dlayers"]
+           "flatten_layers", "flatten_dlayers", "compute_u_layers_lm",
+           "compute_du_layers_lm", "compute_du_layers_half_lm",
+           "flatten_layers_lm"]
 
 
 @dataclass
@@ -131,6 +133,155 @@ def compute_du_layers(ck: CayleyKlein, twojmax: int,
         duj[:, :, rows, j] = sign * np.conj(duj[:, :, j - rows, 0])
         dlayers.append(duj)
     return u_layers, dlayers
+
+
+def compute_u_layers_lm(ck: CayleyKlein, twojmax: int) -> list[np.ndarray]:
+    """Layer-major Wigner layers: element ``j`` has shape ``(j+1, j+1, n)``.
+
+    Same recursion as :func:`compute_u_layers` with the pair axis
+    innermost, so every elementwise operation runs over a long contiguous
+    axis instead of the tiny ``(j+1, j+1)`` trailing block.  This is the
+    hot-path layout: on large chunks it is ~2x faster than the pair-major
+    recursion and it is the layout the fused force contraction consumes.
+    """
+    n = ck.a.shape[0]
+    ac = np.conj(ck.a)[None, None, :]
+    bc = np.conj(ck.b)[None, None, :]
+    layers = [np.ones((1, 1, n), dtype=np.complex128)]
+    for j in range(1, twojmax + 1):
+        prev = layers[j - 1]
+        uj = np.empty((j + 1, j + 1, n), dtype=np.complex128)
+        ma = np.arange(j)
+        mb = np.arange(j)
+        c1 = np.sqrt((j - ma)[:, None] / (j - mb)[None, :])[:, :, None]
+        c2 = np.sqrt((ma + 1)[:, None] / (j - mb)[None, :])[:, :, None]
+        uj[:j, :j] = c1 * (ac * prev)
+        uj[j, :j] = 0.0
+        uj[1:, :j] -= c2 * (bc * prev)
+        rows = np.arange(j + 1)
+        sign = (-1.0) ** (j - rows)
+        uj[rows, j] = sign[:, None] * np.conj(uj[j - rows, 0])
+        layers.append(uj)
+    return layers
+
+
+def compute_du_layers_lm(ck: CayleyKlein, twojmax: int,
+                         u_layers_lm: list[np.ndarray],
+                         scratch: dict | None = None) -> list[np.ndarray]:
+    """Layer-major Wigner gradients: element ``j`` is ``(j+1, j+1, n, 3)``.
+
+    ``u_layers_lm`` must come from :func:`compute_u_layers_lm` for the
+    same batch (the recursion consumes the previous ``U`` layer).
+
+    ``scratch`` optionally carries reusable output buffers between calls
+    (keyed by ``(twojmax, n)``): every element of every layer is written
+    on each call, so reuse only saves the allocation + zero-fill of the
+    large gradient arrays - worth ~2x on big chunks.  Callers that share
+    a scratch dict must not run concurrently.
+    """
+    n = ck.a.shape[0]
+    ac = np.conj(ck.a)[None, None, :, None]
+    bc = np.conj(ck.b)[None, None, :, None]
+    dac = np.conj(ck.da)[None, None, :, :]
+    dbc = np.conj(ck.db)[None, None, :, :]
+    key = (twojmax, n)
+    dlayers = scratch.get(key) if scratch is not None else None
+    if dlayers is None:
+        dlayers = [np.empty((j + 1, j + 1, n, 3), dtype=np.complex128)
+                   for j in range(twojmax + 1)]
+        if scratch is not None:
+            scratch[key] = dlayers
+    dlayers[0][...] = 0.0
+    for j in range(1, twojmax + 1):
+        uprev = u_layers_lm[j - 1][:, :, :, None]
+        dprev = dlayers[j - 1]
+        duj = dlayers[j]
+        ma = np.arange(j)
+        mb = np.arange(j)
+        c1 = np.sqrt((j - ma)[:, None] / (j - mb)[None, :])[:, :, None, None]
+        c2 = np.sqrt((ma + 1)[:, None] / (j - mb)[None, :])[:, :, None, None]
+        t = dac * uprev
+        t += ac * dprev
+        duj[:j, :j] = c1 * t
+        duj[j, :j] = 0.0
+        t = dbc * uprev
+        t += bc * dprev
+        duj[1:, :j] -= c2 * t
+        rows = np.arange(j + 1)
+        sign = (-1.0) ** (j - rows)
+        duj[rows, j] = sign[:, None, None] * np.conj(duj[j - rows, 0])
+    return dlayers
+
+
+def compute_du_layers_half_lm(ck: CayleyKlein, twojmax: int,
+                              u_layers_lm: list[np.ndarray],
+                              scratch: dict | None = None) -> list[np.ndarray]:
+    """Left-half Wigner gradient columns: element ``j`` is
+    ``(j+1, j//2+1, n, 3)``.
+
+    The layers obey the conjugation symmetry
+    ``dU_j[j-ma, j-mb] = (-1)^(ma+mb) conj(dU_j[ma, mb])``, so only
+    columns ``mb <= j//2`` are materialized - the contraction consumer
+    folds the conjugate half into ``Y`` instead (half the recursion
+    traffic and half the contraction terms of the full-plane layers).
+
+    Column ``mb`` of layer ``j`` depends only on column ``mb`` of layer
+    ``j-1``, so the recursion stays closed on the left half, except that
+    an even layer needs column ``j/2`` of the odd layer below, which is
+    reconstructed from that layer's column ``j/2 - 1`` by the same
+    symmetry.  ``scratch`` semantics match :func:`compute_du_layers_lm`.
+    """
+    n = ck.a.shape[0]
+    ac = np.conj(ck.a)[None, None, :, None]
+    bc = np.conj(ck.b)[None, None, :, None]
+    dac = np.conj(ck.da)[None, None, :, :]
+    dbc = np.conj(ck.db)[None, None, :, :]
+    key = ("half", twojmax, n)
+    dlayers = scratch.get(key) if scratch is not None else None
+    if dlayers is None:
+        dlayers = [np.empty((j + 1, j // 2 + 1, n, 3), dtype=np.complex128)
+                   for j in range(twojmax + 1)]
+        if scratch is not None:
+            scratch[key] = dlayers
+    dlayers[0][...] = 0.0
+    for j in range(1, twojmax + 1):
+        ncol = j // 2 + 1
+        dprev = dlayers[j - 1]
+        k = min(dprev.shape[1], ncol)  # prev columns available directly
+        uprev = u_layers_lm[j - 1][:, :k, :, None]
+        duj = dlayers[j]
+        ma = np.arange(j)
+        mb = np.arange(ncol)
+        c1 = np.sqrt((j - ma)[:, None] / (j - mb)[None, :])[:, :, None, None]
+        c2 = np.sqrt((ma + 1)[:, None] / (j - mb)[None, :])[:, :, None, None]
+        t = dac * uprev
+        t += ac * dprev[:, :k]
+        duj[:j, :k] = c1[:, :k] * t
+        duj[j, :k] = 0.0
+        t = dbc * uprev
+        t += bc * dprev[:, :k]
+        duj[1:, :k] -= c2[:, :k] * t
+        if k < ncol:
+            # even j: column j/2 of the odd layer below, via the symmetry
+            jp = j - 1
+            rows = np.arange(jp + 1)
+            sign = ((-1.0) ** (jp - rows + k - 1))[:, None, None]
+            extra = sign * np.conj(dprev[::-1, k - 1])       # (j, n, 3)
+            uq = u_layers_lm[jp][:, k, :, None]
+            t = dac[0] * uq
+            t += ac[0] * extra
+            duj[:j, k] = c1[:, k] * t
+            duj[j, k] = 0.0
+            t = dbc[0] * uq
+            t += bc[0] * extra
+            duj[1:, k] -= c2[:, k] * t
+    return dlayers
+
+
+def flatten_layers_lm(layers: list[np.ndarray]) -> np.ndarray:
+    """Concatenate layer-major layers into a ``(nu, n)`` array."""
+    n = layers[0].shape[-1]
+    return np.concatenate([l.reshape(-1, n) for l in layers], axis=0)
 
 
 def flatten_layers(layers: list[np.ndarray]) -> np.ndarray:

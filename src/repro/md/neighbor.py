@@ -130,7 +130,12 @@ def build_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborBatch
     order = np.argsort(i_idx, kind="stable")
     i_idx, j_idx, rij = i_idx[order], j_idx[order], rij[order]
     r = np.linalg.norm(rij, axis=1)
-    return NeighborBatch(i_idx=i_idx, rij=rij, r=r, j_idx=j_idx)
+    batch = NeighborBatch(i_idx=i_idx, rij=rij, r=r, j_idx=j_idx)
+    # sort by j once per topology build; the force accumulator turns the
+    # j-side scatter into a segment sum with this permutation, and
+    # NeighborList.get derives filtered permutations from it for free
+    batch.j_sorted_perm()
+    return batch
 
 
 @dataclass
@@ -168,12 +173,29 @@ class NeighborList:
             self._ref_positions = np.array(positions)
             self.nbuilds += 1
             ref = self._pairs
-        else:
-            ref = self._pairs
+            # fresh build: displacements are zero, rij/r are already
+            # exact - skip the refresh and filter the skin shell once
+            return self._filtered(ref, ref.rij, ref.r)
+        ref = self._pairs
         # refresh distances for current positions
         disp_i = self.box.minimum_image(positions - self._ref_positions)
         rij = ref.rij + disp_i[ref.j_idx] - disp_i[ref.i_idx]
         r = np.linalg.norm(rij, axis=1)
+        return self._filtered(ref, rij, r)
+
+    def _filtered(self, ref: NeighborBatch, rij: np.ndarray,
+                  r: np.ndarray) -> NeighborBatch:
+        """Drop skin-shell pairs beyond the bare cutoff.
+
+        The j-sorted permutation of the filtered batch is derived from
+        the build-time permutation in O(npairs) - compressing a stable
+        sort keeps it stable - so no per-step re-sort is needed.
+        """
         keep = r < self.cutoff
-        return NeighborBatch(i_idx=ref.i_idx[keep], rij=rij[keep], r=r[keep],
-                             j_idx=ref.j_idx[keep])
+        batch = NeighborBatch(i_idx=ref.i_idx[keep], rij=rij[keep], r=r[keep],
+                              j_idx=ref.j_idx[keep])
+        p = ref.j_sorted_perm()
+        new_index = np.cumsum(keep) - 1
+        pk = p[keep[p]]
+        batch._j_perm = new_index[pk]
+        return batch

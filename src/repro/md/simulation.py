@@ -54,12 +54,22 @@ class Simulation:
     checkpoint_every / checkpoint_path:
         If set, write binary restart files (counted in the "io" phase,
         the dips of paper Fig. 7).
+    nworkers:
+        Shard the SNAP force pass over this many threads (see
+        :func:`repro.parallel.sharded_potential`).  ``1`` (default) keeps
+        the serial evaluator; any value yields bitwise-identical forces.
+        Non-SNAP potentials ignore the knob.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
                  dt: float = 1.0e-3, thermostat: LangevinThermostat | None = None,
                  barostat=None, skin: float = 0.3, checkpoint_every: int = 0,
-                 checkpoint_path: str | Path | None = None) -> None:
+                 checkpoint_path: str | Path | None = None,
+                 nworkers: int = 1) -> None:
+        if nworkers > 1:
+            from ..parallel.shards import sharded_potential
+
+            potential = sharded_potential(potential, nworkers)
         self.system = system
         self.potential = potential
         self.integrator = VelocityVerlet(dt=dt)

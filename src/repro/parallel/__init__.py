@@ -4,6 +4,7 @@ from .comm import CommStats, VirtualComm
 from .decomposition import DomainGrid, best_grid
 from .distributed import CommLedger, DistributedSimulation
 from .halo import BYTES_PER_GHOST, Halo, build_halos
+from .shards import ShardedSNAP, shard_bounds, sharded_potential
 
 __all__ = [
     "VirtualComm",
@@ -15,4 +16,7 @@ __all__ = [
     "BYTES_PER_GHOST",
     "DistributedSimulation",
     "CommLedger",
+    "ShardedSNAP",
+    "shard_bounds",
+    "sharded_potential",
 ]

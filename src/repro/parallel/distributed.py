@@ -65,11 +65,19 @@ class DistributedSimulation:
     """MD over a grid of virtual MPI ranks.
 
     Parameters mirror :class:`repro.md.Simulation` with ``nranks`` added.
+    ``nworkers`` shards each rank's SNAP force pass over a thread pool
+    (see :func:`repro.parallel.sharded_potential`) without changing any
+    force bit - ranks stay sequential, threads split the pair list.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
                  nranks: int, dt: float = 1.0e-3,
-                 thermostat: LangevinThermostat | None = None) -> None:
+                 thermostat: LangevinThermostat | None = None,
+                 nworkers: int = 1) -> None:
+        if nworkers > 1:
+            from .shards import sharded_potential
+
+            potential = sharded_potential(potential, nworkers)
         self.system = system
         self.potential = potential
         self.grid = DomainGrid.for_ranks(system.box, nranks)

@@ -1,0 +1,290 @@
+"""Multi-core shard evaluation of the SNAP force pass.
+
+The dominant stage of a SNAP evaluation is the per-pair gradient
+contraction (stage 3); every pair is independent, so the pair list can
+be sharded across a worker pool.  Stages 1-2 (density accumulation and
+the adjoint ``Y``) run once on the main thread, each worker computes the
+per-pair ``dE/dr`` block for a contiguous, chunk-aligned shard, and the
+main thread performs the final segment-reduced accumulation in exactly
+the serial order.  Because the per-pair gradients are independent of
+chunk and shard boundaries, the resulting forces are **bitwise
+identical** to the serial :meth:`repro.core.SNAP.compute` - the
+determinism test asserts this.
+
+Two pool backends:
+
+``"thread"`` (default)
+    ``ThreadPoolExecutor`` over the shared process memory.  NumPy
+    releases the GIL inside its large array kernels, which is where the
+    force pass spends its time, so shards overlap on multi-core hosts
+    with zero serialization cost.
+
+``"process"``
+    A persistent ``multiprocessing`` pool.  Per-evaluation inputs (pair
+    geometry and the adjoint ``Y``) are published through a
+    ``multiprocessing.shared_memory`` block - workers attach to the
+    buffer instead of receiving pickled copies, the same
+    shared-position-buffer scheme a rank would use for on-node
+    parallelism.  Only the small ``(npairs, 3)`` gradient blocks travel
+    back through the result pipe.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.snap import SNAP, EnergyForces, NeighborBatch
+
+__all__ = ["shard_bounds", "ShardedSNAP", "sharded_potential"]
+
+
+def shard_bounds(npairs: int, nworkers: int, align: int = 1) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` shard bounds covering ``npairs`` pairs.
+
+    Bounds are aligned to multiples of ``align`` (the pair-chunk size)
+    so shards can reuse per-chunk caches indexed on the global chunk
+    grid.  Returns at most ``nworkers`` non-empty shards.
+    """
+    if npairs < 0:
+        raise ValueError("npairs must be non-negative")
+    if nworkers < 1:
+        raise ValueError("nworkers must be positive")
+    if align < 1:
+        raise ValueError("align must be positive")
+    nblocks = -(-npairs // align) if npairs else 0
+    nshards = max(1, min(nworkers, nblocks)) if nblocks else 1
+    per, extra = divmod(nblocks, nshards)
+    bounds = []
+    lo = 0
+    for k in range(nshards):
+        hi = min(npairs, lo + (per + (1 if k < extra else 0)) * align)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# process backend plumbing
+# ----------------------------------------------------------------------
+_WORKER_SNAP: SNAP | None = None
+
+
+def _init_worker(snap: SNAP) -> None:
+    global _WORKER_SNAP
+    _WORKER_SNAP = snap
+
+
+def _attach(shm_buf, specs: dict, name: str):
+    off, shape, dtype = specs[name]
+    arr = np.ndarray(shape, dtype=dtype, buffer=shm_buf, offset=off)
+    return arr
+
+
+def _process_shard(args) -> tuple[int, np.ndarray]:
+    """Worker entry: compute one dedr block from the shared-memory inputs."""
+    from multiprocessing import shared_memory
+
+    shm_name, specs, lo, hi = args
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # the parent owns (and unlinks) the segment; stop this process's
+        # resource tracker from also claiming it at shutdown
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        nbr = NeighborBatch(
+            i_idx=_attach(shm.buf, specs, "i_idx"),
+            rij=_attach(shm.buf, specs, "rij"),
+            r=_attach(shm.buf, specs, "r"),
+            pair_weight=_attach(shm.buf, specs, "pair_weight")
+            if "pair_weight" in specs else None,
+            pair_rcut=_attach(shm.buf, specs, "pair_rcut")
+            if "pair_rcut" in specs else None)
+        y = _attach(shm.buf, specs, "y")
+        return lo, _WORKER_SNAP._compute_dedr(nbr, y, start=lo, stop=hi)
+    finally:
+        shm.close()
+
+
+class ShardedSNAP:
+    """SNAP evaluator with the force pass sharded across a worker pool.
+
+    Drop-in for :meth:`repro.core.SNAP.compute`; forces, energies and
+    the virial are bitwise identical to the serial evaluation for any
+    ``nworkers``.  ``last_timings`` mirrors the serial stage keys.
+    """
+
+    def __init__(self, snap: SNAP, nworkers: int = 2,
+                 backend: str = "thread") -> None:
+        if nworkers < 1:
+            raise ValueError("nworkers must be positive")
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
+        self.snap = snap
+        self.nworkers = nworkers
+        self.backend = backend
+        self.last_timings: dict[str, float] = {}
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    @property
+    def params(self):
+        return self.snap.params
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.nworkers)
+            else:
+                import multiprocessing as mp
+
+                methods = mp.get_all_start_methods()
+                ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+                self._pool = ctx.Pool(self.nworkers, initializer=_init_worker,
+                                      initargs=(self.snap,))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            if self.backend == "thread":
+                self._pool.shutdown()
+            else:
+                self._pool.terminate()
+                self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedSNAP":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _dedr_threaded(self, nbr: NeighborBatch, y: np.ndarray,
+                       cache: list | None,
+                       bounds: list[tuple[int, int]]) -> np.ndarray:
+        dedr = np.empty((nbr.npairs, 3))
+        pool = self._ensure_pool()
+
+        def work(lo: int, hi: int) -> None:
+            # each shard gets a private scratch dict: the recursion
+            # buffers inside must not be shared between live workers
+            dedr[lo:hi] = self.snap._compute_dedr(nbr, y, cache=cache,
+                                                  start=lo, stop=hi,
+                                                  scratch={})
+
+        futures = [pool.submit(work, lo, hi) for lo, hi in bounds]
+        for f in futures:
+            f.result()
+        return dedr
+
+    def _dedr_processes(self, nbr: NeighborBatch, y: np.ndarray,
+                        bounds: list[tuple[int, int]]) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        pool = self._ensure_pool()
+        arrays = {"i_idx": nbr.i_idx, "rij": nbr.rij, "r": nbr.r, "y": y}
+        if nbr.pair_weight is not None:
+            arrays["pair_weight"] = nbr.pair_weight
+        if nbr.pair_rcut is not None:
+            arrays["pair_rcut"] = nbr.pair_rcut
+        specs = {}
+        total = 0
+        for name, a in arrays.items():
+            total = -(-total // 16) * 16  # 16-byte alignment
+            specs[name] = (total, a.shape, a.dtype.str)
+            total += a.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            for name, a in arrays.items():
+                _attach(shm.buf, specs, name)[...] = a
+            tasks = [(shm.name, specs, lo, hi) for lo, hi in bounds]
+            dedr = np.empty((nbr.npairs, 3))
+            for lo, block in pool.map(_process_shard, tasks):
+                dedr[lo:lo + block.shape[0]] = block
+            return dedr
+        finally:
+            shm.close()
+            shm.unlink()
+
+    # ------------------------------------------------------------------
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        """Full evaluation; stage 3 sharded over the pool."""
+        snap = self.snap
+        if nbr.j_idx is None:
+            raise ValueError("NeighborBatch.j_idx is required for forces")
+        t0 = time.perf_counter()
+        # the per-chunk cache can be shared read-only with thread
+        # workers; process workers recompute (nothing to ship)
+        store = self.backend == "thread" and snap._resolve_store_u(nbr.npairs)
+        cache = [] if store else None
+        utot = snap.compute_utot(natoms, nbr, cache=cache)
+        t1 = time.perf_counter()
+        peratom, y = snap._peratom_and_y(utot)
+        t2 = time.perf_counter()
+        bounds = shard_bounds(nbr.npairs, self.nworkers,
+                              align=snap.params.chunk)
+        if self.backend == "thread":
+            dedr = self._dedr_threaded(nbr, y, cache, bounds)
+        else:
+            dedr = self._dedr_processes(nbr, np.ascontiguousarray(y), bounds)
+        forces, virial = snap._accumulate_forces(natoms, nbr, dedr)
+        t3 = time.perf_counter()
+        self.last_timings = {
+            "compute_ui": t1 - t0,
+            "compute_yi": t2 - t1,
+            "compute_dui_deidrj": t3 - t2,
+        }
+        return EnergyForces(energy=float(peratom.sum()), peratom=peratom,
+                            forces=forces, virial=virial)
+
+
+class _ShardedSNAPPotential:
+    """Potential adapter running a SNAP-backed potential on a shard pool.
+
+    Wraps a :class:`repro.potentials.SNAPPotential`-like object (anything
+    exposing ``.snap``, ``.cutoff`` and ``_with_pair_params``) and
+    delegates everything except ``compute``, which goes through
+    :class:`ShardedSNAP`.
+    """
+
+    def __init__(self, potential, nworkers: int, backend: str) -> None:
+        self._base = potential
+        self._evaluator = ShardedSNAP(potential.snap, nworkers=nworkers,
+                                      backend=backend)
+        self.nworkers = nworkers
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+    @property
+    def last_timings(self) -> dict[str, float]:
+        return self._evaluator.last_timings
+
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        return self._evaluator.compute(natoms,
+                                       self._base._with_pair_params(nbr))
+
+    def close(self) -> None:
+        self._evaluator.close()
+
+
+def sharded_potential(potential, nworkers: int, backend: str = "thread"):
+    """Wrap ``potential`` so its force pass runs on ``nworkers`` shards.
+
+    Returns the potential unchanged when ``nworkers == 1`` or when it is
+    not SNAP-backed (no ``snap`` attribute) - only the SNAP force pass
+    has a sharded evaluator.
+    """
+    if nworkers < 1:
+        raise ValueError("nworkers must be a positive integer")
+    if nworkers == 1 or not hasattr(potential, "snap"):
+        return potential
+    return _ShardedSNAPPotential(potential, nworkers, backend)

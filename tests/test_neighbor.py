@@ -124,6 +124,47 @@ class TestNeighborList:
         with pytest.raises(ValueError):
             NeighborList(box=Box.cubic(5.0), cutoff=1.0, skin=-0.1)
 
+    def test_nbuilds_semantics(self, rng):
+        # pin the counter contract: one build per topology rebuild, the
+        # rebuild-step batch comes straight from the fresh build (no
+        # second pass), and unmoved queries never rebuild
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(64, 3))
+        nl = NeighborList(box=box, cutoff=3.0, skin=0.4)
+        got = nl.get(pos)
+        assert nl.nbuilds == 1
+        exact = build_pairs(pos, box, 3.0)
+        assert _pair_set(got) == _pair_set(exact)
+        for _ in range(3):
+            nl.get(pos)
+        assert nl.nbuilds == 1
+        pos2 = pos.copy()
+        pos2[5] += 1.0
+        got2 = nl.get(pos2)
+        assert nl.nbuilds == 2
+        assert _pair_set(got2) == _pair_set(build_pairs(pos2, box, 3.0))
+
+    def test_filtered_j_perm_is_valid(self, rng):
+        # the derived permutation of a skin-filtered batch must be a
+        # stable j-sort, both right after a rebuild and between rebuilds
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, size=(64, 3))
+        nl = NeighborList(box=box, cutoff=3.0, skin=0.6)
+        for p in (pos, pos + rng.normal(scale=0.05, size=pos.shape)):
+            got = nl.get(p)
+            perm = got._j_perm
+            assert perm is not None
+            assert np.array_equal(np.sort(perm), np.arange(got.npairs))
+            js = got.j_idx[perm]
+            assert np.all(np.diff(js) >= 0)
+            # stability: equal j keep their original relative order
+            assert np.array_equal(perm, np.argsort(got.j_idx, kind="stable"))
+
+    def test_build_pairs_precomputes_j_perm(self, rng):
+        box = Box.cubic(10.0)
+        nbr = build_pairs(rng.uniform(0, 10, size=(40, 3)), box, 2.5)
+        assert nbr._j_perm is not None
+
 
 @settings(deadline=None, max_examples=20)
 @given(n=st.integers(2, 40), cutoff=st.floats(1.0, 4.0), seed=st.integers(0, 99))

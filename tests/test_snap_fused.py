@@ -1,0 +1,290 @@
+"""Fused SNAP hot path: store/recompute parity, sharding determinism.
+
+The optimized evaluator has three independently toggleable pieces - the
+stored-U cache (``store_u``), the segment-reduced accumulation and the
+sharded force pass - and the contract for all of them is exact: forces
+match the Listing-1 reference to 1e-10 and every configuration is
+bitwise identical to every other (same arithmetic, different schedule).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from conftest import free_cluster_pairs, random_cluster
+from repro.core import SNAP, NeighborBatch, SNAPParams
+from repro.core.baseline import reference_energy_forces
+from repro.core.indexing import SNAPIndex
+from repro.parallel.shards import ShardedSNAP, shard_bounds, sharded_potential
+
+
+def _snap(rng, twojmax, **kw):
+    params = SNAPParams(twojmax=twojmax, rcut=3.0, chunk=kw.pop("chunk", 32), **kw)
+    return SNAP(params, beta=rng.normal(size=SNAPIndex(twojmax).ncoeff))
+
+
+@pytest.fixture
+def cluster(rng):
+    pos = random_cluster(rng, natoms=6, span=4.0)
+    return pos, free_cluster_pairs(pos, 3.0)
+
+
+class TestStoreUParity:
+    @pytest.mark.parametrize("twojmax", [4, 6, 8])
+    @pytest.mark.parametrize("store_u", ["always", "never"])
+    def test_matches_reference(self, rng, cluster, twojmax, store_u):
+        pos, nbr = cluster
+        snap = _snap(rng, twojmax, store_u=store_u)
+        out = snap.compute(pos.shape[0], nbr)
+        ref = reference_energy_forces(snap, pos.shape[0], nbr)
+        assert out.energy == pytest.approx(ref.energy, abs=1e-10)
+        assert np.allclose(out.forces, ref.forces, atol=1e-10)
+        assert np.allclose(out.virial, ref.virial, atol=1e-10)
+
+    def test_store_vs_recompute_bitwise(self, rng, cluster):
+        # identical arithmetic on identical inputs: not just close, equal
+        pos, nbr = cluster
+        beta = rng.normal(size=SNAPIndex(6).ncoeff)
+        results = {}
+        for mode in ("always", "never"):
+            snap = SNAP(SNAPParams(twojmax=6, rcut=3.0, chunk=16, store_u=mode),
+                        beta=beta)
+            results[mode] = snap.compute(pos.shape[0], nbr)
+            assert snap.last_store_u == (mode == "always")
+        assert np.array_equal(results["always"].forces, results["never"].forces)
+        assert results["always"].energy == results["never"].energy
+        assert np.array_equal(results["always"].virial, results["never"].virial)
+
+    def test_auto_resolution(self):
+        snap = SNAP(SNAPParams(twojmax=8, rcut=3.0, store_u="auto",
+                               store_u_budget_mb=1.0))
+        bytes_per_pair = (snap.index.nu + 8) * 16 + 16
+        fits = int(1.0 * 2**20 / bytes_per_pair)
+        assert snap._resolve_store_u(fits)
+        assert not snap._resolve_store_u(fits + 1)
+        assert SNAP(SNAPParams(twojmax=8, rcut=3.0,
+                               store_u="always"))._resolve_store_u(10**9)
+        assert not SNAP(SNAPParams(twojmax=8, rcut=3.0,
+                                   store_u="never"))._resolve_store_u(1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="store_u"):
+            SNAPParams(twojmax=4, rcut=3.0, store_u="sometimes")
+        with pytest.raises(ValueError):
+            SNAPParams(twojmax=4, rcut=3.0, store_u_budget_mb=0.0)
+
+    def test_cache_requires_chunk_alignment(self, rng, cluster):
+        pos, nbr = cluster
+        snap = _snap(rng, 4, chunk=8)
+        cache = []
+        utot = snap.compute_utot(pos.shape[0], nbr, cache=cache)
+        _, y = snap._peratom_and_y(utot)
+        with pytest.raises(ValueError, match="chunk-aligned"):
+            snap._compute_dedr(nbr, y, cache=cache, start=3)
+
+
+class TestPairOverrides:
+    def test_pair_weight_and_rcut(self, rng, cluster):
+        pos, nbr = cluster
+        snap = _snap(rng, 4, store_u="always")
+        wrng = np.random.default_rng(7)
+        nbr2 = NeighborBatch(
+            i_idx=nbr.i_idx, rij=nbr.rij, r=nbr.r, j_idx=nbr.j_idx,
+            pair_weight=wrng.uniform(0.5, 1.5, nbr.npairs),
+            pair_rcut=wrng.uniform(2.0, 2.9, nbr.npairs))
+        out = snap.compute(pos.shape[0], nbr2)
+        fd = _fd_forces_fixed_topology(snap, pos, nbr2)
+        assert np.allclose(out.forces, fd, atol=1e-5)
+        # stored-U and recompute paths agree bitwise with overrides too
+        out2 = SNAP(replace(snap.params, store_u="never"),
+                    beta=snap.beta).compute(pos.shape[0], nbr2)
+        assert np.array_equal(out.forces, out2.forces)
+
+    def test_pair_at_exact_cutoff(self, rng):
+        # regression: r == pair_rcut must give a finite, exactly-zero
+        # contribution (the Cayley-Klein map diverges at rcut; the clamp
+        # plus fc(rcut) = 0 must keep the pair inert)
+        rij = np.array([[1.2, 0.3, 0.8], [0.0, 0.0, 2.5]])
+        r = np.linalg.norm(rij, axis=1)
+        pr = np.array([3.0, r[1]])  # second pair sits exactly at its rcut
+        nbr = NeighborBatch(i_idx=np.zeros(2, dtype=np.intp), rij=rij, r=r,
+                            j_idx=np.array([1, 2]), pair_rcut=pr)
+        only = NeighborBatch(i_idx=np.zeros(1, dtype=np.intp), rij=rij[:1],
+                             r=r[:1], j_idx=np.array([1]),
+                             pair_rcut=np.array([3.0]))
+        snap = _snap(np.random.default_rng(3), 4)
+        out = snap.compute(3, nbr)
+        ref = snap.compute(3, only)
+        assert np.all(np.isfinite(out.forces))
+        assert np.allclose(out.forces[:2], ref.forces[:2], atol=1e-12)
+        assert np.allclose(out.forces[2], 0.0, atol=1e-12)
+
+
+def _fd_forces_fixed_topology(snap, pos, nbr, h=1e-6):
+    """Central-difference forces at fixed pair topology and overrides.
+
+    The analytic forces of ``snap.compute`` differentiate the energy at
+    the *given* pair list, so the finite difference must keep the same
+    pairs (with their per-pair weight/rcut) and only refresh geometry.
+    """
+    natoms = pos.shape[0]
+
+    def energy(p):
+        rij = p[nbr.j_idx] - p[nbr.i_idx]
+        batch = NeighborBatch(i_idx=nbr.i_idx, rij=rij,
+                              r=np.linalg.norm(rij, axis=1), j_idx=nbr.j_idx,
+                              pair_weight=nbr.pair_weight,
+                              pair_rcut=nbr.pair_rcut)
+        return snap.compute(natoms, batch).energy
+
+    out = np.zeros((natoms, 3))
+    for a in range(natoms):
+        for c in range(3):
+            pp = pos.copy()
+            pp[a, c] += h
+            ep = energy(pp)
+            pp[a, c] -= 2 * h
+            em = energy(pp)
+            out[a, c] = -(ep - em) / (2 * h)
+    return out
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_neighbor_list(self, rng):
+        for store_u in ("always", "never"):
+            snap = _snap(rng, 4, store_u=store_u)
+            empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                                  rij=np.zeros((0, 3)), r=np.zeros(0),
+                                  j_idx=np.zeros(0, dtype=np.intp))
+            out = snap.compute(3, empty)
+            assert np.all(out.forces == 0.0)
+            assert np.all(out.virial == 0.0)
+            assert np.isfinite(out.energy)
+
+    def test_empty_sharded(self, rng):
+        snap = _snap(rng, 4)
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0),
+                              j_idx=np.zeros(0, dtype=np.intp))
+        with ShardedSNAP(snap, nworkers=3) as ev:
+            out = ev.compute(3, empty)
+        assert np.all(out.forces == 0.0)
+
+    def test_j_idx_shape_validated(self):
+        with pytest.raises(ValueError, match="j_idx"):
+            NeighborBatch(i_idx=np.zeros(3, dtype=np.intp),
+                          rij=np.zeros((3, 3)), r=np.ones(3),
+                          j_idx=np.zeros(2, dtype=np.intp))
+
+
+class TestSharding:
+    def test_shard_bounds(self):
+        assert shard_bounds(10, 3, align=4) == [(0, 4), (4, 8), (8, 10)]
+        assert shard_bounds(0, 4) == [(0, 0)]
+        assert shard_bounds(7, 100, align=2) == [(0, 2), (2, 4), (4, 6), (6, 7)]
+        b = shard_bounds(1000, 4, align=32)
+        assert b[0][0] == 0 and b[-1][1] == 1000
+        assert all(lo % 32 == 0 for lo, _ in b)
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+    def test_nworkers_bitwise_determinism(self, rng, cluster):
+        pos, nbr = cluster
+        snap = _snap(rng, 6, chunk=8)
+        ref = snap.compute(pos.shape[0], nbr)
+        for nw in (2, 4):
+            with ShardedSNAP(snap, nworkers=nw) as ev:
+                out = ev.compute(pos.shape[0], nbr)
+            assert np.array_equal(out.forces, ref.forces)
+            assert out.energy == ref.energy
+            assert np.array_equal(out.virial, ref.virial)
+            assert np.array_equal(out.peratom, ref.peratom)
+            assert set(ev.last_timings) == set(snap.last_timings)
+
+    def test_process_backend_bitwise(self, rng, cluster):
+        pos, nbr = cluster
+        snap = _snap(rng, 4, chunk=16)
+        ref = snap.compute(pos.shape[0], nbr)
+        with ShardedSNAP(snap, nworkers=2, backend="process") as ev:
+            out = ev.compute(pos.shape[0], nbr)
+        assert np.array_equal(out.forces, ref.forces)
+
+    def test_sharded_potential_passthrough(self, rng):
+        from repro.potentials import SNAPPotential
+
+        class Dummy:
+            cutoff = 3.0
+
+        d = Dummy()
+        assert sharded_potential(d, 4) is d  # not SNAP-backed
+        params = SNAPParams(twojmax=4, rcut=3.0, chunk=32)
+        pot = SNAPPotential(params, beta=rng.normal(size=SNAPIndex(4).ncoeff))
+        assert sharded_potential(pot, 1) is pot  # serial stays unwrapped
+        with pytest.raises(ValueError, match="positive"):
+            sharded_potential(pot, -2)
+        wrapped = sharded_potential(pot, 4)
+        assert wrapped is not pot
+        assert wrapped.cutoff == pot.cutoff
+        wrapped.close()
+
+    def test_simulation_nworkers_matches_serial(self, rng):
+        from repro.md import Simulation
+        from repro.potentials import SNAPPotential
+        from repro.structures import lattice_system
+
+        params = SNAPParams(twojmax=4, rcut=2.2, chunk=64)
+        beta = np.random.default_rng(9).normal(size=SNAPIndex(4).ncoeff)
+
+        def build(nw):
+            s = lattice_system("fcc", a=2.4, reps=(2, 2, 2), mass=12.0)
+            s.seed_velocities(300.0, rng=np.random.default_rng(5))
+            return Simulation(s, SNAPPotential(params, beta=beta), dt=1e-3,
+                              nworkers=nw)
+
+        runs = {}
+        for nw in (1, 4):
+            sim = build(nw)
+            sim.run(3)
+            runs[nw] = (sim.system.positions.copy(),
+                        sim.last_result.forces.copy())
+        assert np.array_equal(runs[1][0], runs[4][0])
+        assert np.array_equal(runs[1][1], runs[4][1])
+
+    def test_invalid_args(self, rng):
+        snap = _snap(rng, 4)
+        with pytest.raises(ValueError):
+            ShardedSNAP(snap, nworkers=0)
+        with pytest.raises(ValueError):
+            ShardedSNAP(snap, backend="gpu")
+
+
+class TestBenchRecord:
+    def test_round_trip(self, tmp_path):
+        import json
+
+        from repro.core.benchrecord import make_snap_record, write_snap_record
+
+        rec = make_snap_record(
+            problem={"twojmax": 8, "natoms": 100},
+            seconds={"legacy": 2.0, "fused": 0.5},
+            natoms=100, reference="legacy",
+            stage_timings={"fused": {"compute_ui": 0.1}})
+        assert rec["variants"]["fused"]["speedup_vs_legacy"] == pytest.approx(4.0)
+        assert rec["variants"]["fused"]["atoms_per_s"] == pytest.approx(200.0)
+        assert rec["variants"]["fused"]["stages"] == {"compute_ui": 0.1}
+        assert rec["host"]["numpy"] == np.__version__
+        path = write_snap_record(tmp_path / "BENCH_snap.json", rec)
+        assert json.loads(path.read_text()) == rec
+
+    def test_default_reference_is_slowest(self):
+        from repro.core.benchrecord import make_snap_record
+
+        rec = make_snap_record(problem={}, seconds={"a": 1.0, "b": 3.0},
+                               natoms=10)
+        assert rec["reference"] == "b"
+        with pytest.raises(ValueError):
+            make_snap_record(problem={}, seconds={}, natoms=10)
+        with pytest.raises(ValueError):
+            make_snap_record(problem={}, seconds={"a": 1.0}, natoms=10,
+                             reference="nope")
