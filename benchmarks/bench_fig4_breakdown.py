@@ -41,24 +41,42 @@ def test_breakdown_model(benchmark, report):
 
 
 def test_breakdown_measured_inprocess(benchmark, report, rng):
-    """Measured phase fractions from the instrumented distributed driver
-    (SNAP force time dominates at MD-realistic atom counts even in the
-    interpreted kernel)."""
-    params = SNAPParams(twojmax=4, rcut=2.4, chunk=8192)
+    """Measured comm/neigh/force split per halo mode from the
+    instrumented distributed driver (SNAP force time dominates at
+    MD-realistic atom counts even in the interpreted kernel)."""
     import numpy as np
 
+    params = SNAPParams(twojmax=4, rcut=2.4, chunk=8192)
     pot = SNAPPotential(params, beta=rng.normal(
         size=SNAPPotential(params).snap.index.ncoeff))
-    s = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
-    s.seed_velocities(300.0, rng=rng)
-    dsim = DistributedSimulation(s, pot, nranks=2, dt=5e-4)
-    out = benchmark.pedantic(dsim.run, args=(2,), rounds=1, iterations=1)
-    fr = out["phase_fractions"]
+    outs = {}
+    for mode in ("2x", "1x"):
+        s = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
+        s.seed_velocities(300.0, rng=np.random.default_rng(7))
+        dsim = DistributedSimulation(s, pot, nranks=2, dt=5e-4,
+                                     halo_mode=mode, skin=0.1)
+        if mode == "1x":
+            outs[mode] = benchmark.pedantic(dsim.run, args=(2,),
+                                            rounds=1, iterations=1)
+        else:
+            outs[mode] = dsim.run(2)
     report("")
     report("measured in-process breakdown (216-atom SNAP 2J=4, 2 ranks):")
-    for k in sorted(fr):
-        report(f"  {k:8s} {fr[k]*100:6.1f}%")
-    assert fr["force"] > 0.5  # force-dominated, like the paper's big runs
+    for mode, out in outs.items():
+        report(f"  halo_{mode}:")
+        bd = out["phase_breakdown"]
+        for k in sorted(bd):
+            subs = " ".join(f"{n}={t*1e3:.1f}ms"
+                            for n, t in sorted(bd[k].get("sub", {}).items()))
+            report(f"    {k:8s} {bd[k].get('fraction', 0.0)*100:6.1f}%"
+                   + (f"  [{subs}]" if subs else ""))
+        # force-dominated, like the paper's big runs
+        assert out["phase_fractions"]["force"] > 0.5
+    # sub-phases the overhaul is meant to expose
+    bd1 = outs["1x"]["phase_breakdown"]
+    assert "halo_build" in bd1["comm"]["sub"]
+    assert "reverse" in bd1["comm"]["sub"]
+    assert "reverse" not in outs["2x"]["phase_breakdown"]["comm"]["sub"]
 
 
 def test_breakdown_benchmark(benchmark):

@@ -6,9 +6,12 @@ at 4096 nodes vs 1 node), the small dip between 8 and 64 nodes from the
 ~1 ns/day at this loading (0.5 fs production timestep).
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.core.benchrecord import make_record, write_record
 from repro.perfmodel import PAPER, md_performance, weak_scaling
 
 APN = PAPER["weak_scaling"]["atoms_per_node"]
@@ -24,6 +27,22 @@ def test_weak_scaling_curve(benchmark, report):
         report(f"{n:6d} {p:20.2f}")
     eff = ws["matom_steps_node_s"][-1] / ws["matom_steps_node_s"][0]
     report(f"parallel efficiency 4096 vs 1: {eff:.2f} (paper: 0.90)")
+
+    # same record format as BENCH_snap.json / BENCH_distributed.json:
+    # one variant per node count, seconds = model step time per node
+    seconds = {f"nodes_{n}": float(APN / (p * 1e6))
+               for n, p in zip(ws["nodes"], ws["matom_steps_node_s"])}
+    extras = {f"nodes_{n}": {"nodes": int(n), "matom_steps_node_s": float(p)}
+              for n, p in zip(ws["nodes"], ws["matom_steps_node_s"])}
+    record = make_record(
+        "weak_scaling_model",
+        problem={"machine": "summit", "atoms_per_node": APN,
+                 "source": "perfmodel (paper Fig. 5)"},
+        seconds=seconds, natoms=APN, reference="nodes_1", extras=extras)
+    record["efficiency_4096_vs_1"] = float(eff)
+    out_path = write_record(Path(__file__).resolve().parent.parent
+                            / "BENCH_weak_scaling.json", record)
+    report(f"record written to {out_path}")
     assert eff == pytest.approx(PAPER["weak_scaling"]["efficiency_4096_vs_1"],
                                 abs=0.04)
 

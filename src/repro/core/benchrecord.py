@@ -1,11 +1,14 @@
-"""Machine-readable benchmark records (``BENCH_snap.json``).
+"""Machine-readable benchmark records (``BENCH_*.json``).
 
 The benchmark suite prints human tables; this module writes the same
 numbers as one JSON document so performance can be tracked across
 commits and hosts.  A record carries the problem definition, per-variant
-wall time / atoms-per-second / speedup, the per-stage split from
-:attr:`repro.core.SNAP.last_timings`, and enough host metadata to make a
-number comparable (or visibly not) with another machine's.
+wall time / atoms-per-second / speedup, optional per-variant extras
+(kernel stage splits, ghost bytes per step, ...), and enough host
+metadata to make a number comparable (or visibly not) with another
+machine's.  ``BENCH_snap.json`` (force kernel), ``BENCH_distributed.json``
+(domain-decomposed driver) and ``BENCH_weak_scaling.json`` (Fig. 5
+model) all share this format.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["host_metadata", "make_snap_record", "write_snap_record"]
+__all__ = ["host_metadata", "make_record", "write_record",
+           "make_snap_record", "write_snap_record"]
 
 
 def host_metadata() -> dict:
@@ -34,26 +38,29 @@ def host_metadata() -> dict:
     }
 
 
-def make_snap_record(problem: dict, seconds: dict[str, float],
-                     natoms: int, reference: str | None = None,
-                     stage_timings: dict[str, dict[str, float]] | None = None,
-                     ) -> dict:
+def make_record(benchmark: str, problem: dict, seconds: dict[str, float],
+                natoms: int, reference: str | None = None,
+                extras: dict[str, dict] | None = None) -> dict:
     """Assemble a benchmark record.
 
     Parameters
     ----------
+    benchmark:
+        Record type tag (``"snap_force_kernel"``, ``"distributed_md"``,
+        ...).
     problem:
-        Free-form description of the workload (twojmax, natoms, npairs,
+        Free-form description of the workload (twojmax, natoms, nranks,
         neighbors per atom, ...).
     seconds:
-        Wall time per variant for one full force evaluation.
+        Wall time per variant for one measured unit of work.
     natoms:
         Atom count, for the atoms-per-second figure of merit.
     reference:
         Variant name speedups are quoted against (defaults to the
         slowest variant).
-    stage_timings:
-        Optional per-variant ``SNAP.last_timings`` stage splits.
+    extras:
+        Optional per-variant metric dicts merged into each entry
+        (stage splits, ghost bytes per step, ...).
     """
     if not seconds:
         raise ValueError("seconds must contain at least one variant")
@@ -69,11 +76,11 @@ def make_snap_record(problem: dict, seconds: dict[str, float],
             "atoms_per_s": natoms / t if t > 0 else float("inf"),
             "speedup_vs_" + reference: ref_t / t if t > 0 else float("inf"),
         }
-        if stage_timings and name in stage_timings:
-            entry["stages"] = dict(stage_timings[name])
+        if extras and name in extras:
+            entry.update(extras[name])
         variants[name] = entry
     return {
-        "benchmark": "snap_force_kernel",
+        "benchmark": benchmark,
         "problem": dict(problem),
         "reference": reference,
         "variants": variants,
@@ -81,8 +88,24 @@ def make_snap_record(problem: dict, seconds: dict[str, float],
     }
 
 
-def write_snap_record(path: str | Path, record: dict) -> Path:
-    """Write a record produced by :func:`make_snap_record` as JSON."""
+def write_record(path: str | Path, record: dict) -> Path:
+    """Write a record produced by :func:`make_record` as JSON."""
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def make_snap_record(problem: dict, seconds: dict[str, float],
+                     natoms: int, reference: str | None = None,
+                     stage_timings: dict[str, dict[str, float]] | None = None,
+                     ) -> dict:
+    """SNAP force-kernel record (:func:`make_record` specialization)."""
+    extras = None
+    if stage_timings:
+        extras = {name: {"stages": dict(st)} for name, st in stage_timings.items()}
+    return make_record("snap_force_kernel", problem, seconds, natoms,
+                       reference=reference, extras=extras)
+
+
+#: kept as an alias - existing callers write kernel records through it
+write_snap_record = write_record

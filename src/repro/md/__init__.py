@@ -5,7 +5,7 @@ from .dump import read_checkpoint, write_checkpoint
 from .integrators import (BerendsenBarostat, BerendsenThermostat,
                           LangevinThermostat, VelocityVerlet)
 from .minimize import FireResult, fire_minimize, relax_volume
-from .neighbor import NeighborList, build_pairs
+from .neighbor import NeighborList, build_pairs, filter_pairs
 from .simulation import Simulation
 from .system import ParticleSystem
 from .timers import PhaseTimers
@@ -18,6 +18,7 @@ __all__ = [
     "FireResult",
     "relax_volume",
     "build_pairs",
+    "filter_pairs",
     "VelocityVerlet",
     "LangevinThermostat",
     "BerendsenThermostat",

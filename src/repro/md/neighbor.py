@@ -24,7 +24,7 @@ import numpy as np
 from ..core.snap import NeighborBatch
 from .box import Box
 
-__all__ = ["NeighborList", "build_pairs", "ragged_arange"]
+__all__ = ["NeighborList", "build_pairs", "filter_pairs", "ragged_arange"]
 
 
 def ragged_arange(counts: np.ndarray) -> np.ndarray:
@@ -138,6 +138,26 @@ def build_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborBatch
     return batch
 
 
+def filter_pairs(ref: NeighborBatch, rij: np.ndarray, r: np.ndarray,
+                 keep: np.ndarray) -> NeighborBatch:
+    """Compress a skin-extended reference batch down to the kept pairs.
+
+    ``rij``/``r`` are the refreshed geometry of every reference pair and
+    ``keep`` the boolean pair mask.  The j-sorted permutation of the
+    filtered batch is derived from the reference's build-time permutation
+    in O(npairs) - compressing a stable sort keeps it stable - so no
+    per-step re-sort is needed.  Shared by the serial
+    :class:`NeighborList` and the distributed per-rank caches.
+    """
+    batch = NeighborBatch(i_idx=ref.i_idx[keep], rij=rij[keep], r=r[keep],
+                          j_idx=ref.j_idx[keep])
+    p = ref.j_sorted_perm()
+    new_index = np.cumsum(keep) - 1
+    pk = p[keep[p]]
+    batch._j_perm = new_index[pk]
+    return batch
+
+
 @dataclass
 class NeighborList:
     """Verlet-skinned neighbor list manager.
@@ -185,17 +205,5 @@ class NeighborList:
 
     def _filtered(self, ref: NeighborBatch, rij: np.ndarray,
                   r: np.ndarray) -> NeighborBatch:
-        """Drop skin-shell pairs beyond the bare cutoff.
-
-        The j-sorted permutation of the filtered batch is derived from
-        the build-time permutation in O(npairs) - compressing a stable
-        sort keeps it stable - so no per-step re-sort is needed.
-        """
-        keep = r < self.cutoff
-        batch = NeighborBatch(i_idx=ref.i_idx[keep], rij=rij[keep], r=r[keep],
-                              j_idx=ref.j_idx[keep])
-        p = ref.j_sorted_perm()
-        new_index = np.cumsum(keep) - 1
-        pk = p[keep[p]]
-        batch._j_perm = new_index[pk]
-        return batch
+        """Drop skin-shell pairs beyond the bare cutoff."""
+        return filter_pairs(ref, rij, r, r < self.cutoff)

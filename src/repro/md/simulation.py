@@ -105,6 +105,9 @@ class Simulation:
             nbr = self.neighbors.get(self.system.positions)
         with self.timers.phase("force"):
             result = self.potential.compute(self.system.natoms, nbr)
+        # kernel-stage split (SNAP-backed potentials expose last_timings)
+        for k, v in (getattr(self.potential, "last_timings", None) or {}).items():
+            self.timers.add(f"force.{k}", v)
         forces = result.forces
         if self.thermostat is not None:
             with self.timers.phase("other"):
@@ -157,6 +160,7 @@ class Simulation:
             "wall_s": wall,
             "atom_steps_per_s": atom_steps / wall if wall > 0 else float("inf"),
             "phase_fractions": self.timers.fractions(),
+            "phase_breakdown": self.timers.breakdown(),
             "neighbor_builds": self.neighbors.nbuilds,
         }
 

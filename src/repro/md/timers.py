@@ -4,6 +4,14 @@ The paper's Fig. 4 splits wall time into "SNAP" (force), "MPI Comm" and
 "Other" (I/O, thermostat, Verlet integration, ...).  :class:`PhaseTimers`
 accumulates the same categories for our drivers so the breakdown bench
 can report measured fractions next to the paper's.
+
+Phases nest one level: a dotted name like ``"comm.halo_build"`` is a
+*sub-phase* of the top-level ``"comm"`` phase.  Sub-phases are kept in a
+separate ledger and never contribute to :attr:`total` or
+:meth:`fractions` - they annotate where a top-level phase spent its time
+(the drivers time the top-level phase around the whole stage and the
+sub-phases inside it, so summing both would double count).
+:meth:`breakdown` merges the two views into one nested report.
 """
 
 from __future__ import annotations
@@ -15,10 +23,14 @@ __all__ = ["PhaseTimers"]
 
 
 class PhaseTimers:
-    """Named accumulating wall-clock timers."""
+    """Named accumulating wall-clock timers with one level of nesting."""
 
     def __init__(self) -> None:
         self._acc: dict[str, float] = {}
+        self._sub: dict[str, float] = {}
+
+    def _target(self, name: str) -> dict[str, float]:
+        return self._sub if "." in name else self._acc
 
     @contextmanager
     def phase(self, name: str):
@@ -26,14 +38,21 @@ class PhaseTimers:
         try:
             yield
         finally:
-            self._acc[name] = self._acc.get(name, 0.0) + time.perf_counter() - t0
+            acc = self._target(name)
+            acc[name] = acc.get(name, 0.0) + time.perf_counter() - t0
 
     def add(self, name: str, seconds: float) -> None:
-        self._acc[name] = self._acc.get(name, 0.0) + seconds
+        acc = self._target(name)
+        acc[name] = acc.get(name, 0.0) + seconds
 
     @property
     def totals(self) -> dict[str, float]:
         return dict(self._acc)
+
+    @property
+    def subtotals(self) -> dict[str, float]:
+        """Accumulated seconds per dotted sub-phase."""
+        return dict(self._sub)
 
     @property
     def total(self) -> float:
@@ -46,9 +65,33 @@ class PhaseTimers:
             return {}
         return {k: v / tot for k, v in self._acc.items()}
 
+    def breakdown(self) -> dict[str, dict]:
+        """Nested report: per top-level phase, seconds/fraction/sub-split.
+
+        Sub-phase seconds are reported as measured; a sub-phase whose
+        parent was never timed at the top level still appears (with the
+        parent's ``seconds`` set to the sum of its sub-phases).
+        """
+        tot = self.total
+        out: dict[str, dict] = {}
+        parents = set(self._acc) | {k.split(".", 1)[0] for k in self._sub}
+        for top in sorted(parents):
+            sub = {k.split(".", 1)[1]: v for k, v in self._sub.items()
+                   if k.split(".", 1)[0] == top}
+            seconds = self._acc.get(top, sum(sub.values()))
+            entry: dict = {"seconds": seconds}
+            if tot > 0 and top in self._acc:
+                entry["fraction"] = seconds / tot
+            if sub:
+                entry["sub"] = sub
+            out[top] = entry
+        return out
+
     def reset(self) -> None:
         self._acc.clear()
+        self._sub.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        parts = ", ".join(f"{k}={v:.3g}s" for k, v in sorted(self._acc.items()))
+        parts = ", ".join(f"{k}={v:.3g}s"
+                          for k, v in sorted({**self._acc, **self._sub}.items()))
         return f"PhaseTimers({parts})"

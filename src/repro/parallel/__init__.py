@@ -1,19 +1,23 @@
 """Simulated-MPI domain decomposition substrate."""
 
-from .comm import CommStats, VirtualComm
+from .comm import CommStats, VirtualComm, reverse_scatter_add
 from .decomposition import DomainGrid, best_grid
 from .distributed import CommLedger, DistributedSimulation
-from .halo import BYTES_PER_GHOST, Halo, build_halos
+from .halo import (BYTES_PER_GHOST, BYTES_PER_POSITION, Halo, build_halos,
+                   halo_width_mask)
 from .shards import ShardedSNAP, shard_bounds, sharded_potential
 
 __all__ = [
     "VirtualComm",
     "CommStats",
+    "reverse_scatter_add",
     "best_grid",
     "DomainGrid",
     "Halo",
     "build_halos",
+    "halo_width_mask",
     "BYTES_PER_GHOST",
+    "BYTES_PER_POSITION",
     "DistributedSimulation",
     "CommLedger",
     "ShardedSNAP",

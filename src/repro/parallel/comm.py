@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["VirtualComm", "CommStats"]
+__all__ = ["VirtualComm", "CommStats", "reverse_scatter_add"]
 
 
 @dataclass
@@ -34,6 +34,34 @@ class CommStats:
         self.messages = 0
         self.bytes = 0
         self.collectives = 0
+
+
+def reverse_scatter_add(out: np.ndarray, index_blocks: list[np.ndarray],
+                        value_blocks: list[np.ndarray],
+                        stats: CommStats | None = None) -> np.ndarray:
+    """LAMMPS-style reverse communication: ghost rows back to owners.
+
+    ``index_blocks[r]`` holds the global atom ids of rank ``r``'s ghost
+    rows and ``value_blocks[r]`` the partial per-ghost vectors (forces)
+    that rank accumulated; each block is scatter-added into ``out`` in
+    **fixed rank order**, so the result is bitwise independent of how
+    concurrently the blocks were produced.  Duplicate ids within a block
+    (several periodic images of one atom) accumulate correctly.  When
+    ``stats`` is given, each non-empty block is accounted as one message
+    carrying its payload bytes.
+    """
+    if len(index_blocks) != len(value_blocks):
+        raise ValueError("need one value block per index block")
+    for idx, val in zip(index_blocks, value_blocks):
+        if idx.shape[0] != val.shape[0]:
+            raise ValueError("index/value block lengths differ")
+        if idx.size == 0:
+            continue
+        np.add.at(out, idx, val)
+        if stats is not None:
+            stats.messages += 1
+            stats.bytes += val.nbytes
+    return out
 
 
 class VirtualComm:

@@ -31,6 +31,7 @@ Two pool backends:
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -131,6 +132,11 @@ class ShardedSNAP:
         self.backend = backend
         self.last_timings: dict[str, float] = {}
         self._pool = None
+        # one evaluation at a time: the shard pool, the chunk cache and
+        # ``last_timings`` are per-evaluation state, so concurrent rank
+        # threads sharing this evaluator serialize here (pair-level
+        # parallelism already owns the cores during an evaluation)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -217,6 +223,10 @@ class ShardedSNAP:
     # ------------------------------------------------------------------
     def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
         """Full evaluation; stage 3 sharded over the pool."""
+        with self._lock:
+            return self._compute_locked(natoms, nbr)
+
+    def _compute_locked(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
         snap = self.snap
         if nbr.j_idx is None:
             raise ValueError("NeighborBatch.j_idx is required for forces")
