@@ -12,10 +12,9 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core import SNAP, SNAPParams
-from repro.md import NeighborList, Simulation, build_pairs
+from repro.md import Simulation, build_pairs
 from repro.parsplice import arrhenius_msm, nanoparticle_landscape, run_parsplice
 from repro.potentials import LennardJones
 from repro.structures import lattice_system, random_packed

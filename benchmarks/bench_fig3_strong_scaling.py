@@ -12,9 +12,8 @@ trend drives the model.
 import numpy as np
 import pytest
 
-from repro.md.system import ParticleSystem
 from repro.parallel import DistributedSimulation
-from repro.perfmodel import PAPER, MACHINES, parallel_efficiency, strong_scaling
+from repro.perfmodel import PAPER, parallel_efficiency, strong_scaling
 from repro.potentials import LennardJones
 from repro.structures import lattice_system
 

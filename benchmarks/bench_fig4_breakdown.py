@@ -9,7 +9,6 @@ instrumented drivers accompanies it.
 
 import pytest
 
-from repro.md import Simulation
 from repro.parallel import DistributedSimulation
 from repro.perfmodel import PAPER, breakdown
 from repro.potentials import SNAPPotential
@@ -77,6 +76,40 @@ def test_breakdown_measured_inprocess(benchmark, report, rng):
     assert "halo_build" in bd1["comm"]["sub"]
     assert "reverse" in bd1["comm"]["sub"]
     assert "reverse" not in outs["2x"]["phase_breakdown"]["comm"]["sub"]
+
+
+def test_sanitizer_overhead_measured(report, rng):
+    """Overhead of the opt-in repro.lint sanitizers on the fig4 system:
+    NaN/Inf guards on every kernel-stage exit (``check_finite``) plus the
+    scatter-add race detector (``race_check``).  Both are debug
+    instruments; this records what turning them on costs so EXPERIMENTS
+    can quote a measured number."""
+    import numpy as np
+
+    beta = rng.normal(
+        size=SNAPPotential(SNAPParams(twojmax=4, rcut=2.4)).snap.index.ncoeff)
+    walls = {}
+    for label, sane in (("off", False), ("on", True)):
+        params = SNAPParams(twojmax=4, rcut=2.4, chunk=8192,
+                            check_finite=sane)
+        pot = SNAPPotential(params, beta=beta)
+        s = lattice_system("diamond", a=3.57, reps=(3, 3, 3))
+        s.seed_velocities(300.0, rng=np.random.default_rng(7))
+        dsim = DistributedSimulation(s, pot, nranks=2, dt=5e-4,
+                                     halo_mode="1x", skin=0.1,
+                                     check_finite=sane, race_check=sane)
+        out = dsim.run(3)
+        dsim.close()
+        walls[label] = out["wall_s"]
+        if sane:
+            assert dsim.race_detector.reports == []
+    ratio = walls["on"] / walls["off"]
+    report("")
+    report("sanitizer overhead (216-atom SNAP 2J=4, 2 ranks, 1x halo):")
+    report(f"  sanitizers off: {walls['off']*1e3:8.1f} ms")
+    report(f"  sanitizers on:  {walls['on']*1e3:8.1f} ms  ({ratio:.2f}x)")
+    # debug instruments, but they must stay usable on real runs
+    assert ratio < 2.0
 
 
 def test_breakdown_benchmark(benchmark):

@@ -6,7 +6,6 @@ quoted 20B-atom runs on Selene (12.72 Matom-steps/node-s, 11.14 PFLOPS)
 and Perlmutter (6.42, 11.24 PFLOPS).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.flops import PAPER_FLOPS_PER_ATOM_STEP

@@ -75,5 +75,4 @@ class PhaseClassifier:
     def fractions(self, positions: np.ndarray, box: Box) -> dict[str, float]:
         """Phase fractions of a sample."""
         labels = self.classify(positions, box)
-        n = labels.size
         return {name: float(np.mean(labels == lbl)) for lbl, name in PHASE_LABELS.items()}

@@ -6,7 +6,6 @@ import numpy as np
 
 from ..constants import EVA3_TO_BAR, KB
 from ..core.snap import EnergyForces
-from ..md.box import Box
 from ..md.system import ParticleSystem
 
 __all__ = ["pressure", "pressure_bar", "msd"]

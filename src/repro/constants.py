@@ -35,7 +35,7 @@ EVA3_TO_BAR = 1.602176634e6
 CARBON_MASS = 12.011
 
 #: pi, re-exported for symmetry with the C sources this module mirrors.
-from math import pi as PI  # noqa: E402
+from math import pi as PI  # noqa: E402, F401  (public constant)
 
 #: 1 Mbar in bar, used for the paper's "extreme pressure (12 Mbar)".
 MBAR = 1.0e6

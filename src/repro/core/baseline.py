@@ -25,7 +25,7 @@ import numpy as np
 
 from .cg import cg_tensor
 from .switching import sfac_dsfac
-from .wigner import cayley_klein, compute_du_layers, compute_u_layers
+from .wigner import cayley_klein, compute_du_layers
 
 __all__ = ["reference_energy_forces", "reference_descriptors", "descriptor_gradients"]
 

@@ -63,6 +63,11 @@ class SNAPParams:
     cache-friendly.  4096 is the measured sweet spot at 2J=8; the
     pre-fusion kernel shipped with 8192, which at 2J=8 pushes the
     gradient scratch past typical last-level caches.
+
+    ``check_finite`` (debug sanitizer, default off) validates every
+    kernel-stage output for NaN/Inf on exit and raises
+    :class:`repro.lint.sanitizers.NumericsError` naming the offending
+    stage; see ``python -m repro.lint`` in the README.
     """
 
     twojmax: int = 8
@@ -74,6 +79,7 @@ class SNAPParams:
     chunk: int = 4096
     store_u: str = "auto"
     store_u_budget_mb: float = 256.0
+    check_finite: bool = False
 
     def __post_init__(self) -> None:
         if self.rcut <= self.rmin0:
@@ -623,13 +629,25 @@ class SNAP:
         :attr:`last_store_u` records the decision taken.
         """
         t0 = time.perf_counter()
+        sane = self.params.check_finite
+        if sane:
+            from ..lint.sanitizers import check_finite
+            check_finite("neighbor_input", where="serial",
+                         rij=nbr.rij, r=nbr.r)
         self.last_store_u = self._resolve_store_u(nbr.npairs)
         cache = [] if self.last_store_u else None
         utot = self.compute_utot(natoms, nbr, cache=cache)
+        if sane:
+            check_finite("compute_ui", where="serial", utot=utot)
         t1 = time.perf_counter()
         peratom, y = self._peratom_and_y(utot)
+        if sane:
+            check_finite("compute_yi", where="serial", peratom=peratom, y=y)
         t2 = time.perf_counter()
         forces, virial = self.compute_forces_from_y(natoms, nbr, y, cache=cache)
+        if sane:
+            check_finite("compute_dui_deidrj", where="serial",
+                         forces=forces, virial=virial)
         t3 = time.perf_counter()
         self.last_timings = {
             "compute_ui": t1 - t0,

@@ -11,7 +11,7 @@ bottleneck when TMs are removed) can be measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,37 @@
+"""Repo-aware static analysis + runtime sanitizers for the hot path.
+
+Static half (``python -m repro.lint src/``): AST rules enforcing the
+conventions the concurrent SNAP/MD pipeline relies on - deterministic
+iteration order (R1), complex/real dtype discipline (R2), the
+``# guarded-by: <lock>`` thread-safety annotation convention (R3) and
+general hygiene (R4).  Findings are suppressed inline with
+``# repro-lint: disable=<rule> -- <justification>``.
+
+Runtime half (:mod:`repro.lint.sanitizers`): opt-in NaN/Inf guards with
+phase attribution and a scatter-add race detector for concurrent rank
+execution, wired through ``SNAPParams.check_finite`` and the
+``check_finite``/``race_check`` flags of ``DistributedSimulation``.
+"""
+
+from .engine import (format_findings, iter_py_files, lint_file, lint_paths,
+                     lint_source)
+from .rules import RULES, Finding, Rule
+from .sanitizers import (NumericsError, Overlap, RaceDetector, RaceError,
+                         WriteRecord, check_finite)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_py_files",
+    "format_findings",
+    "NumericsError",
+    "RaceError",
+    "RaceDetector",
+    "Overlap",
+    "WriteRecord",
+    "check_finite",
+]

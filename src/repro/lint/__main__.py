@@ -1,0 +1,47 @@
+"""CLI entry point: ``python -m repro.lint [paths...]``.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise -
+suitable for CI gating alongside the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import format_findings, lint_paths
+from .rules import RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Repo-aware static analysis: determinism, dtype "
+                    "discipline, guarded-by thread safety, hygiene.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE", help="only run rules matching this "
+                        "id or prefix (repeatable)")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="RULE", help="skip rules matching this id "
+                        "or prefix (repeatable)")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append a per-rule finding count")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.id:24s} {rule.summary}  [{scope}]")
+        return 0
+
+    findings = lint_paths(args.paths, select=args.select, ignore=args.ignore)
+    print(format_findings(findings, statistics=args.statistics))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Driver for the :mod:`repro.lint` static pass.
+
+Walks Python files, runs every applicable rule (see
+:mod:`repro.lint.rules`), filters findings through the suppression
+pragmas (:mod:`repro.lint.pragmas`) and reports what survives.  The
+shipped tree lints clean: ``python -m repro.lint src/`` exits 0, and the
+tier-1 suite asserts that it stays that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .pragmas import collect_pragmas
+from .rules import RULES, FileContext, Finding
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_py_files",
+           "format_findings"]
+
+
+def _comment_map(source: str) -> dict[int, str]:
+    comments: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        pass
+    return comments
+
+
+def _select_rules(select: Sequence[str] | None,
+                  ignore: Sequence[str] | None) -> set[str]:
+    ids = set(RULES)
+    if select:
+        wanted = set()
+        for pat in select:
+            wanted |= {r for r in ids if r == pat or r.startswith(pat)}
+        ids = wanted
+    if ignore:
+        for pat in ignore:
+            ids -= {r for r in ids if r == pat or r.startswith(pat)}
+    return ids
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Sequence[str] | None = None,
+                ignore: Sequence[str] | None = None) -> list[Finding]:
+    """Lint one source string; ``path`` drives rule scoping."""
+    posix = Path(path).as_posix()
+    active = _select_rules(select, ignore)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("E0-syntax", posix, exc.lineno or 1, 0,
+                        f"file does not parse: {exc.msg}")]
+    ctx = FileContext(path=posix, source=source,
+                      lines=source.splitlines(), tree=tree,
+                      comments=_comment_map(source))
+    pragmas = collect_pragmas(source)
+
+    findings: list[Finding] = []
+    ran: set[int] = set()  # several rule ids share one check function
+    for rule in RULES.values():
+        if id(rule.check) in ran:
+            continue
+        if not any(r.applies_to(posix) and r.id in active
+                   for r in RULES.values() if r.check is rule.check):
+            continue
+        ran.add(id(rule.check))
+        findings.extend(rule.check(ctx))
+
+    kept: list[Finding] = []
+    seen: set[tuple] = set()
+    for f in findings:
+        if f.rule in RULES and (
+                f.rule not in active or not RULES[f.rule].applies_to(posix)):
+            continue
+        key = (f.rule, f.line, f.col, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if pragmas.suppresses(f.rule, f.line):
+            continue
+        kept.append(f)
+    # a suppression without a recorded reason is itself a finding
+    for p in pragmas.unjustified():
+        kept.append(Finding("P0-unjustified-pragma", posix, p.line, 0,
+                            "suppression pragma lacks a justification; "
+                            "append ' -- <why this is safe>'"))
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return kept
+
+
+def lint_file(path: str | Path,
+              select: Sequence[str] | None = None,
+              ignore: Sequence[str] | None = None) -> list[Finding]:
+    p = Path(path)
+    try:
+        source = p.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding("E0-io", p.as_posix(), 1, 0, f"cannot read: {exc}")]
+    return lint_source(source, path=str(p), select=select, ignore=ignore)
+
+
+def iter_py_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: Sequence[str] | None = None,
+               ignore: Sequence[str] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for f in iter_py_files(paths):
+        findings.extend(lint_file(f, select=select, ignore=ignore))
+    return findings
+
+
+def format_findings(findings: Sequence[Finding],
+                    statistics: bool = False) -> str:
+    lines = [f.render() for f in findings]
+    if statistics and findings:
+        counts: dict[str, int] = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        lines.append("")
+        for rule in sorted(counts):
+            lines.append(f"{counts[rule]:5d}  {rule}")
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -40,7 +40,6 @@ def ragged_arange(counts: np.ndarray) -> np.ndarray:
 
 def _brute_force_pairs(positions: np.ndarray, box: Box, cutoff: float):
     """All pairs within cutoff including periodic images (small boxes)."""
-    n = positions.shape[0]
     shifts = [np.arange(-1, 2) if p else np.array([0]) for p in box.periodic]
     # Enough images? require cutoff < smallest periodic box length so that
     # +-1 image sweeps suffice.

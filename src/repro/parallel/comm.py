@@ -15,7 +15,7 @@ the sense that message order is preserved per (source, dest, tag).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -42,10 +42,11 @@ def best_grid(nranks: int, box_lengths: np.ndarray | None = None) -> tuple[int, 
     best = None
     best_surface = np.inf
     for triple in _factor_triples(nranks):
-        # all axis assignments of the triple
-        for perm in {(triple[i], triple[j], triple[k])
-                     for i, j, k in [(0, 1, 2), (0, 2, 1), (1, 0, 2),
-                                     (1, 2, 0), (2, 0, 1), (2, 1, 0)]}:
+        # all axis assignments of the triple, in sorted (not hash) order
+        # so tie-breaking on equal surface area is deterministic
+        for perm in sorted({(triple[i], triple[j], triple[k])
+                            for i, j, k in [(0, 1, 2), (0, 2, 1), (1, 0, 2),
+                                            (1, 2, 0), (2, 0, 1), (2, 1, 0)]}):
             d = lengths / np.array(perm)
             surface = 2.0 * (d[0] * d[1] + d[1] * d[2] + d[0] * d[2]) * nranks
             if surface < best_surface - 1e-12:

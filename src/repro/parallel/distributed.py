@@ -169,6 +169,19 @@ class DistributedSimulation:
         pool (see :func:`repro.parallel.sharded_potential`); the shard
         pool serializes evaluations, so combine with ``nworkers`` only
         when ranks are few and large.
+    check_finite:
+        Debug sanitizer (default off): validate every per-rank kernel
+        output and the globally accumulated forces for NaN/Inf, raising
+        :class:`repro.lint.sanitizers.NumericsError` with rank and phase
+        attribution.
+    race_check:
+        Debug sanitizer (default off): run a
+        :class:`repro.lint.sanitizers.RaceDetector` across each force
+        evaluation.  Every rank declares the owned-row region it
+        scatter-adds into while rank threads execute concurrently; the
+        fixed-order reverse ghost pass is declared ``serialized``.  Any
+        overlap between two concurrent writers raises
+        :class:`repro.lint.sanitizers.RaceError` naming ranks and phase.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
@@ -176,7 +189,9 @@ class DistributedSimulation:
                  thermostat: LangevinThermostat | None = None,
                  nworkers: int = 1, halo_mode: str = "1x",
                  skin: float = 0.3, shard_workers: int = 1,
-                 shard_backend: str = "thread") -> None:
+                 shard_backend: str = "thread",
+                 check_finite: bool = False,
+                 race_check: bool = False) -> None:
         if halo_mode not in ("1x", "2x"):
             raise ValueError("halo_mode must be '1x' or '2x'")
         if skin < 0:
@@ -210,6 +225,15 @@ class DistributedSimulation:
         self._ghost_count = 0
         self._ghost_count_1x = 0
         self._ghost_count_2x = 0
+        self.check_finite = bool(check_finite)
+        #: live :class:`~repro.lint.sanitizers.RaceDetector` when
+        #: ``race_check`` is on, else None; its ``reports`` list holds
+        #: every overlap seen so far
+        self.race_detector = None
+        if race_check:
+            from ..lint.sanitizers import RaceDetector
+
+            self.race_detector = RaceDetector()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -289,14 +313,17 @@ class DistributedSimulation:
     # ------------------------------------------------------------------
     # per-rank evaluation
     # ------------------------------------------------------------------
-    def _eval_rank(self, state: _RankState, disp: np.ndarray | None,
-                   capture_stages: bool):
+    def _eval_rank(self, rank: int, state: _RankState,
+                   disp: np.ndarray | None, capture_stages: bool):
         """One rank's force evaluation against the persistent lists.
 
         Returns ``(energy, owned_forces, ghost_forces, timings, stages)``;
         pure w.r.t. shared state, so rank evaluations may run on any
         thread - only the fixed-order accumulation on the caller ties
-        results together.
+        results together.  With ``race_check`` on, the rank declares the
+        owned-row region it will scatter into from this (possibly pool)
+        thread; with ``check_finite`` on, kernel outputs are validated
+        here so a NaN is attributed to the rank that produced it.
         """
         if state.nowned == 0:
             return 0.0, np.zeros((0, 3)), None, {"neigh": 0.0, "force": 0.0}, \
@@ -322,6 +349,18 @@ class DistributedSimulation:
         # partial forces owed to other ranks.  2x mode: owned rows are
         # exact (complete environments inside the wide halo), ghost rows
         # are duplicates of work other ranks also did - discard them.
+        if self.check_finite:
+            from ..lint.sanitizers import check_finite
+
+            check_finite("rank_force", where=f"rank{rank}",
+                         peratom=result.peratom[:nown],
+                         forces=result.forces)
+        if self.race_detector is not None:
+            # declare this rank's owned-row scatter region from the
+            # executing thread; disjointness across ranks is the
+            # invariant concurrent accumulation relies on
+            self.race_detector.record("forces.scatter", f"rank{rank}",
+                                      state.owned)
         energy = float(result.peratom[:nown].sum())
         ghost = result.forces[nown:] if self.halo_mode == "1x" else None
         stages = None
@@ -360,16 +399,19 @@ class DistributedSimulation:
         ledger.bytes_1x += self._ghost_count_1x * BYTES_PER_GHOST
         ledger.bytes_2x += self._ghost_count_2x * BYTES_PER_GHOST
 
+        if self.race_detector is not None:
+            self.race_detector.begin_epoch()
         states = self._ranks
         concurrent = self.nworkers > 1 and self.grid.nranks > 1
         if concurrent:
             pool = self._ensure_pool()
             results = list(pool.map(
-                lambda st: self._eval_rank(st, disp, capture_stages=False),
-                states))
+                lambda rk_st: self._eval_rank(rk_st[0], rk_st[1], disp,
+                                              capture_stages=False),
+                enumerate(states)))
         else:
-            results = [self._eval_rank(st, disp, capture_stages=True)
-                       for st in states]
+            results = [self._eval_rank(rank, st, disp, capture_stages=True)
+                       for rank, st in enumerate(states)]
 
         energy = 0.0
         forces = np.zeros((n, 3))
@@ -377,12 +419,15 @@ class DistributedSimulation:
         stage_sums: dict[str, float] = {}
         ghost_blocks: list[np.ndarray] = []
         ghost_values: list[np.ndarray] = []
-        for state, (e, owned_f, ghost_f, tim, stages) in zip(states, results):
+        ghost_ranks: list[int] = []
+        for rank, (state, (e, owned_f, ghost_f, tim, stages)) in enumerate(
+                zip(states, results)):
             energy += e
             forces[state.owned] += owned_f
             if ghost_f is not None:
                 ghost_blocks.append(state.ghost_idx)
                 ghost_values.append(ghost_f)
+                ghost_ranks.append(rank)
             t_neigh += tim["neigh"]
             t_force += tim["force"]
             if stages:
@@ -396,11 +441,26 @@ class DistributedSimulation:
             self.timers.add(f"force.{k}", v)
 
         if ghost_blocks:
+            if self.race_detector is not None:
+                # ghost contributions from different ranks legitimately
+                # target the same owner rows; the reverse pass applies
+                # them in fixed rank order on this thread, so they are
+                # declared serialized (exempt from pairwise overlap)
+                for rank, blk in zip(ghost_ranks, ghost_blocks):
+                    self.race_detector.record("comm.reverse", f"rank{rank}",
+                                              blk, serialized=True)
             with self.timers.phase("comm"), self.timers.phase("comm.reverse"):
                 before = self.comm_stats.bytes
                 reverse_scatter_add(forces, ghost_blocks, ghost_values,
                                     stats=self.comm_stats)
                 ledger.reverse_bytes += self.comm_stats.bytes - before
+        if self.race_detector is not None:
+            self.race_detector.check()
+        if self.check_finite:
+            from ..lint.sanitizers import check_finite
+
+            check_finite("accumulate", where="distributed",
+                         energy=np.array(energy), forces=forces)
         return energy, forces
 
     # ------------------------------------------------------------------

@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from ..core.snap import SNAP, EnergyForces, NeighborBatch
+from ..lint.sanitizers import check_finite as _check_finite
 
 __all__ = ["shard_bounds", "ShardedSNAP", "sharded_potential"]
 
@@ -75,6 +77,7 @@ _WORKER_SNAP: SNAP | None = None
 
 def _init_worker(snap: SNAP) -> None:
     global _WORKER_SNAP
+    # repro-lint: disable=R3-pool-write -- process-pool initializer: worker-process-private globals, nothing shared
     _WORKER_SNAP = snap
 
 
@@ -92,11 +95,14 @@ def _process_shard(args) -> tuple[int, np.ndarray]:
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         # the parent owns (and unlinks) the segment; stop this process's
-        # resource tracker from also claiming it at shutdown
+        # resource tracker from also claiming it at shutdown.  Narrow
+        # types only: ImportError/AttributeError cover platforms without
+        # the tracker (or its private API moving), KeyError an untracked
+        # segment - anything else should surface, not be swallowed.
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
+    except (ImportError, AttributeError, KeyError):
         pass
     try:
         nbr = NeighborBatch(
@@ -130,8 +136,10 @@ class ShardedSNAP:
         self.snap = snap
         self.nworkers = nworkers
         self.backend = backend
-        self.last_timings: dict[str, float] = {}
-        self._pool = None
+        self.last_timings: dict[str, float] = {}  #: guarded-by: _lock
+        self._pool = None                         #: guarded-by: _lock
+        #: pool startup failed; evaluations degraded to serial
+        self._degraded = False                    #: guarded-by: _lock
         # one evaluation at a time: the shard pool, the chunk cache and
         # ``last_timings`` are per-evaluation state, so concurrent rank
         # threads sharing this evaluator serialize here (pair-level
@@ -143,21 +151,39 @@ class ShardedSNAP:
     def params(self):
         return self.snap.params
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            if self.backend == "thread":
-                self._pool = ThreadPoolExecutor(max_workers=self.nworkers)
-            else:
-                import multiprocessing as mp
+    def _ensure_pool(self):  # guarded-by: _lock
+        """Start the worker pool lazily; ``None`` means degraded-serial.
 
-                methods = mp.get_all_start_methods()
-                ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-                self._pool = ctx.Pool(self.nworkers, initializer=_init_worker,
-                                      initargs=(self.snap,))
+        Pool startup can fail on constrained hosts (no ``fork``/``spawn``
+        primitives, thread limits, sandboxed /dev/shm).  That must not
+        kill the evaluation: degrade to the serial force pass once, and
+        record *why* through a :class:`RuntimeWarning` so the regression
+        is visible instead of silent.
+        """
+        if self._pool is None and not self._degraded:
+            try:
+                if self.backend == "thread":
+                    self._pool = ThreadPoolExecutor(max_workers=self.nworkers)
+                else:
+                    import multiprocessing as mp
+
+                    methods = mp.get_all_start_methods()
+                    ctx = mp.get_context(
+                        "fork" if "fork" in methods else "spawn")
+                    self._pool = ctx.Pool(self.nworkers,
+                                          initializer=_init_worker,
+                                          initargs=(self.snap,))
+            except (OSError, ImportError, PermissionError, ValueError) as exc:
+                self._degraded = True
+                warnings.warn(
+                    f"shard pool ({self.backend!r}, {self.nworkers} workers) "
+                    f"failed to start; degrading to the serial force pass: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning, stacklevel=3)
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent); re-arms a degraded pool."""
         if self._pool is not None:
             if self.backend == "thread":
                 self._pool.shutdown()
@@ -165,6 +191,7 @@ class ShardedSNAP:
                 self._pool.terminate()
                 self._pool.join()
             self._pool = None
+        self._degraded = False
 
     def __enter__(self) -> "ShardedSNAP":
         return self
@@ -226,8 +253,10 @@ class ShardedSNAP:
         with self._lock:
             return self._compute_locked(natoms, nbr)
 
-    def _compute_locked(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    def _compute_locked(self, natoms: int,
+                        nbr: NeighborBatch) -> EnergyForces:
         snap = self.snap
+        sane = snap.params.check_finite
         if nbr.j_idx is None:
             raise ValueError("NeighborBatch.j_idx is required for forces")
         t0 = time.perf_counter()
@@ -236,18 +265,29 @@ class ShardedSNAP:
         store = self.backend == "thread" and snap._resolve_store_u(nbr.npairs)
         cache = [] if store else None
         utot = snap.compute_utot(natoms, nbr, cache=cache)
+        if sane:
+            _check_finite("compute_ui", where="sharded", utot=utot)
         t1 = time.perf_counter()
         peratom, y = snap._peratom_and_y(utot)
+        if sane:
+            _check_finite("compute_yi", where="sharded", peratom=peratom, y=y)
         t2 = time.perf_counter()
         bounds = shard_bounds(nbr.npairs, self.nworkers,
                               align=snap.params.chunk)
-        if self.backend == "thread":
+        pool = self._ensure_pool()
+        if pool is None:
+            # degraded-serial fallback (see _ensure_pool)
+            dedr = snap._compute_dedr(nbr, y, cache=cache)
+        elif self.backend == "thread":
             dedr = self._dedr_threaded(nbr, y, cache, bounds)
         else:
             dedr = self._dedr_processes(nbr, np.ascontiguousarray(y), bounds)
         forces, virial = snap._accumulate_forces(natoms, nbr, dedr)
+        if sane:
+            _check_finite("compute_dui_deidrj", where="sharded",
+                          forces=forces, virial=virial)
         t3 = time.perf_counter()
-        self.last_timings = {
+        self.last_timings = {  # guarded-by: _lock (held by compute)
             "compute_ui": t1 - t0,
             "compute_yi": t2 - t1,
             "compute_dui_deidrj": t3 - t2,

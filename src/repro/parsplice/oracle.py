@@ -9,7 +9,6 @@ accuracy (mispredicted segments simply wait in the store).
 
 from __future__ import annotations
 
-from collections import defaultdict
 
 import numpy as np
 

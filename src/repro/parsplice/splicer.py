@@ -8,9 +8,8 @@ states that are revisited later is never thrown away).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from .segments import Segment
 

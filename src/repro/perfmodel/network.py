@@ -10,7 +10,6 @@ fraction grow as atoms/GPU shrink (Fig. 4) and strong scaling saturate
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..parallel.halo import BYTES_PER_GHOST
 from .machines import MachineSpec

@@ -17,7 +17,7 @@ run with the phase classifier (science example).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -30,7 +30,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.snap import EnergyForces, NeighborBatch
-from ..md.neighbor import ragged_arange
 from .base import Potential, pair_result
 
 __all__ = ["StillingerWeber", "triplet_indices"]

@@ -10,11 +10,11 @@ single weighted least-squares solve yields the coefficients
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.snap import SNAP, NeighborBatch, SNAPParams
+from ..core.snap import SNAP, SNAPParams
 from ..md.neighbor import build_pairs
 from ..md.system import ParticleSystem
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core import SNAP, NeighborBatch, SNAPParams
-from repro.md import Box, build_pairs
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro.analysis import (PhaseClassifier, coordination_numbers, msd,
                             pressure, pressure_bar, rdf, steinhardt_q)
 from repro.constants import EVA3_TO_BAR, KB
 from repro.core.snap import EnergyForces
-from repro.md import Box, ParticleSystem, build_pairs
+from repro.md import Box, ParticleSystem
 from repro.structures import lattice_system, random_packed
 
 

@@ -57,7 +57,6 @@ def test_orthogonality(j1, j2):
             g = np.einsum("abi,abj->ij", h1, h2)
             expected = np.zeros_like(g)
             if j == jp:
-                d = min(j, jp) + 1
                 expected = np.eye(h1.shape[2], h2.shape[2])
             assert np.allclose(g, expected, atol=1e-12)
 

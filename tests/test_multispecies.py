@@ -5,7 +5,7 @@ import pytest
 
 from conftest import free_cluster_pairs, random_cluster
 from repro.core import SNAP, NeighborBatch, SNAPParams
-from repro.md import Box, build_pairs
+from repro.md import build_pairs
 from repro.potentials import SNAPPotential
 from repro.structures import lattice_system
 

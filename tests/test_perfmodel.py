@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.flops import PAPER_FLOPS_PER_ATOM_STEP
-from repro.perfmodel import (MACHINES, PAPER, ProductionRun, breakdown,
+from repro.perfmodel import (MACHINES, PAPER, breakdown,
                              comm_time_per_step, ghost_atoms_per_domain,
                              md_performance, parallel_efficiency, pflops,
                              production_trace, step_time, strong_scaling,

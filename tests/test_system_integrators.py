@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.constants import KB, MVV2E
+from repro.constants import MVV2E
 from repro.md import (BerendsenThermostat, Box, LangevinThermostat,
                       ParticleSystem, Simulation, VelocityVerlet)
 from repro.potentials import LennardJones
