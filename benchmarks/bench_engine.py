@@ -1,0 +1,76 @@
+"""Engine-layer benchmark: one MD loop, every execution backend.
+
+Runs the identical LJ system through :func:`repro.md.build_engine` on
+the serial, sharded-serial, and domain-decomposed backends — the same
+:class:`repro.md.MDLoop` drives all three — and records the per-backend
+throughput to ``BENCH_engine.json`` at the repo root via
+:mod:`repro.core.benchrecord`.  Doubles as an end-to-end check that the
+backends agree on the physics at the engine boundary.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.benchrecord import make_record, write_record
+from repro.md import MDLoop, build_engine
+from repro.potentials import LennardJones
+from repro.structures import lattice_system
+
+STEPS = 5
+
+
+def _system(rng):
+    s = lattice_system("fcc", a=2.5, reps=(5, 5, 5))
+    s.positions = s.positions + rng.normal(scale=0.01, size=s.positions.shape)
+    return s, LennardJones(epsilon=0.2, sigma=2.2, cutoff=3.0)
+
+
+def test_engine_backends_record(benchmark, report, rng):
+    """Serial vs sharded vs distributed through one MDLoop."""
+    s0, pot = _system(rng)
+    variants = {
+        "serial": dict(),
+        "serial_workers2": dict(nworkers=2),
+        "distributed_8r": dict(nranks=8),
+    }
+    seconds = {}
+    extras = {}
+    forces = {}
+    for name, kw in variants.items():
+        sm = s0.copy()
+        sm.seed_velocities(50.0, rng=np.random.default_rng(13))
+        with build_engine(sm, pot, **kw) as engine:
+            loop = MDLoop(engine, dt=1e-3)
+            t0 = time.perf_counter()
+            out = loop.run(STEPS)
+            seconds[name] = time.perf_counter() - t0
+            forces[name] = engine.evaluate().forces
+        extras[name] = {
+            "backend": type(engine).__name__,
+            "atom_steps_per_s": out.atom_steps_per_s,
+            "neighbor_builds": out.neighbor_builds,
+            "phase_fractions": out.phase_fractions,
+        }
+    # every backend must agree on the physics
+    assert np.array_equal(forces["serial"], forces["serial_workers2"])
+    assert np.allclose(forces["serial"], forces["distributed_8r"], atol=1e-10)
+
+    record = make_record(
+        "engine_backends",
+        problem={"natoms": s0.natoms, "steps": STEPS, "potential": "LJ"},
+        seconds=seconds, natoms=s0.natoms * STEPS, reference="serial",
+        extras=extras)
+    out_path = write_record(Path(__file__).resolve().parent.parent
+                            / "BENCH_engine.json", record)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(f"engine backends ({s0.natoms} atoms, {STEPS} steps, LJ):")
+    report(f"{'variant':>18s} {'backend':>18s} {'s':>8s} "
+           f"{'atom-steps/s':>14s}")
+    for name in variants:
+        report(f"{name:>18s} {extras[name]['backend']:>18s} "
+               f"{seconds[name]:8.3f} "
+               f"{extras[name]['atom_steps_per_s']:14.0f}")
+    report(f"recorded -> {out_path.name}")

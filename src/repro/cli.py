@@ -14,6 +14,10 @@ Commands
     Simulate the 24 h production trace (Fig. 7) and print summary rows.
 ``bench-kernel``
     Measure the local SNAP kernel (Table-I-style row for this host).
+``run-md``
+    Run real MD on any execution backend (serial / sharded /
+    distributed) through the shared engine layer and print the
+    :class:`repro.md.RunSummary`.
 """
 
 from __future__ import annotations
@@ -129,6 +133,35 @@ def _cmd_bench_kernel(args) -> int:
     return 0
 
 
+def _cmd_run_md(args) -> int:
+    from .core import SNAP, SNAPParams
+    from .md import MDLoop, build_engine
+    from .potentials import LennardJones, SNAPPotential
+    from .structures import random_packed
+
+    density = 0.1
+    s = random_packed(args.natoms, density=density, seed=1)
+    s.seed_velocities(args.temp, rng=np.random.default_rng(2))
+    if args.potential == "lj":
+        pot = LennardJones(epsilon=0.1, sigma=2.0,
+                           cutoff=(26 / (4 / 3 * np.pi * density)) ** (1 / 3))
+    else:
+        rcut = (26 / (4 / 3 * np.pi * density)) ** (1 / 3)
+        params = SNAPParams(twojmax=args.twojmax, rcut=rcut)
+        pot = SNAPPotential(params, beta=np.random.default_rng(0).normal(
+            size=SNAP(params).index.ncoeff))
+    with build_engine(s, pot, nranks=args.nranks,
+                      nworkers=args.nworkers) as engine:
+        summary = MDLoop(engine, dt=args.dt).run(args.steps)
+    backend = type(engine).__name__
+    print(f"{backend}: {summary.natoms} atoms x {summary.steps} steps "
+          f"in {summary.wall_s:.3f} s "
+          f"-> {summary.atom_steps_per_s / 1e3:.2f} Katom-steps/s")
+    for phase, frac in sorted(summary.phase_fractions.items()):
+        print(f"  {phase:8s} {frac * 100:5.1f}%")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SC'21 SNAP MD reproduction toolkit")
@@ -144,6 +177,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--natoms", type=int, default=256)
     p.add_argument("--twojmax", type=int, default=8)
     p.set_defaults(fn=_cmd_bench_kernel)
+    p = sub.add_parser("run-md")
+    p.add_argument("--natoms", type=int, default=128)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--dt", type=float, default=1.0e-3)
+    p.add_argument("--temp", type=float, default=300.0)
+    p.add_argument("--nranks", type=int, default=1)
+    p.add_argument("--nworkers", type=int, default=1)
+    p.add_argument("--potential", choices=("lj", "snap"), default="lj")
+    p.add_argument("--twojmax", type=int, default=4)
+    p.set_defaults(fn=_cmd_run_md)
     args = parser.parse_args(argv)
     return args.fn(args)
 

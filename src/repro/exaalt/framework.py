@@ -17,7 +17,8 @@ import numpy as np
 
 from .events import EventLoop
 
-__all__ = ["ExaaltConfig", "ExaaltStats", "simulate_exaalt"]
+__all__ = ["ExaaltConfig", "ExaaltStats", "simulate_exaalt",
+           "calibrated_config"]
 
 
 @dataclass
@@ -74,6 +75,28 @@ class ExaaltStats:
                 f"-> {self.tasks_per_second:.0f} tasks/s, "
                 f"worker util {self.worker_utilization * 100:.1f}%, "
                 f"WM util {self.wm_utilization * 100:.1f}%")
+
+
+def calibrated_config(system, potential, t_segment: float = 1.0,
+                      dt: float = 1.0e-3, **kwargs) -> ExaaltConfig:
+    """An :class:`ExaaltConfig` with a *measured* task duration.
+
+    EXAALT tasks are MD segments; instead of guessing
+    ``task_duration_mean``, run one ``t_segment``-ps segment through
+    :func:`repro.md.build_engine` and the shared
+    :class:`repro.md.MDLoop` on this host and use the measured wall
+    time.  Engine selection kwargs (``nranks``, ``nworkers``, ...) are
+    split off; the rest forward to :class:`ExaaltConfig`.
+    """
+    from ..md.engine import MDLoop, build_engine
+
+    engine_keys = ("nranks", "nworkers", "halo_mode", "skin",
+                   "shard_workers", "shard_backend")
+    engine_kwargs = {k: kwargs.pop(k) for k in engine_keys if k in kwargs}
+    nsteps = max(1, int(round(t_segment / dt)))
+    with build_engine(system, potential, **engine_kwargs) as engine:
+        summary = MDLoop(engine, dt=dt).run(nsteps)
+    return ExaaltConfig(task_duration_mean=summary.wall_s, **kwargs)
 
 
 def simulate_exaalt(config: ExaaltConfig | None = None) -> ExaaltStats:

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 __all__ = ["Finding", "Rule", "RULES", "FileContext", "HOT_PATH_SCOPE",
-           "THREAD_SCOPE"]
+           "THREAD_SCOPE", "TIMER_SCOPE"]
 
 
 @dataclass(frozen=True)
@@ -82,9 +82,18 @@ class Rule:
 
 
 #: where the determinism rules bite: the concurrent layer + SNAP kernel
-HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py")
+HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py",
+                  "repro/md/engine.py")
 #: where the guarded-by convention is enforced
-THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py")
+THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py",
+                "repro/md/engine.py")
+#: where raw perf_counter() loop accounting is banned outside the
+#: sanctioned owners (PhaseTimers and the shared MDLoop): the drivers
+#: and the engine layer, which must route timing through PhaseTimers
+TIMER_SCOPE = ("repro/md/simulation.py", "repro/md/engine.py",
+               "repro/parallel/distributed.py")
+#: classes allowed to call time.perf_counter() directly inside TIMER_SCOPE
+_TIMER_OWNERS = ("PhaseTimers", "MDLoop")
 
 _GUARDED_BY_RE = re.compile(r"#:?\s*guarded-by:\s*([A-Za-z_][\w.()\- ]*)")
 
@@ -841,6 +850,42 @@ def _check_r4(ctx: FileContext) -> list[Finding]:
     return findings
 
 
+def _check_r4_timer(ctx: FileContext) -> list[Finding]:
+    """Flag raw ``time.perf_counter()`` loop accounting in the drivers.
+
+    The drivers grew private timing paths twice before the engine
+    refactor; all phase accounting must go through the shared
+    :class:`PhaseTimers` (or the :class:`MDLoop` wall clock).  Calls
+    inside classes named in :data:`_TIMER_OWNERS` are the sanctioned
+    owners; anything else in :data:`TIMER_SCOPE` is a finding (a
+    justified ``# repro-lint: disable=R4-raw-timer`` pragma marks the
+    rare legitimate case, e.g. per-rank stopwatches on pool threads).
+    """
+    findings: list[Finding] = []
+    parents = _parent_map(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _tail(_call_name(node)) != "perf_counter":
+            continue
+        owner = None
+        cur: ast.AST | None = node
+        while cur in parents:
+            cur = parents[cur]
+            if isinstance(cur, ast.ClassDef):
+                owner = cur.name
+                break
+        if owner in _TIMER_OWNERS:
+            continue
+        findings.append(Finding(
+            "R4-raw-timer", ctx.path, node.lineno, node.col_offset,
+            "raw time.perf_counter() loop accounting outside "
+            "PhaseTimers/MDLoop; route timing through the shared "
+            "PhaseTimers so phase breakdowns stay comparable across "
+            "backends"))
+    return findings
+
+
 # ======================================================================
 # registry
 # ======================================================================
@@ -875,4 +920,7 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     Rule("R4-shadow-numpy",
          "binding shadows a NumPy/builtin callable",
          None, _check_r4),
+    Rule("R4-raw-timer",
+         "raw perf_counter() loop accounting outside PhaseTimers/MDLoop",
+         TIMER_SCOPE, _check_r4_timer),
 ]}

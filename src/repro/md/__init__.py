@@ -2,6 +2,8 @@
 
 from .box import Box
 from .dump import read_checkpoint, write_checkpoint
+from .engine import (DistributedEngine, ForceEngine, MDLoop, RunSummary,
+                     SerialEngine, ThermoEntry, build_engine)
 from .integrators import (BerendsenBarostat, BerendsenThermostat,
                           LangevinThermostat, VelocityVerlet)
 from .minimize import FireResult, fire_minimize, relax_volume
@@ -24,6 +26,13 @@ __all__ = [
     "BerendsenThermostat",
     "BerendsenBarostat",
     "Simulation",
+    "ThermoEntry",
+    "ForceEngine",
+    "SerialEngine",
+    "DistributedEngine",
+    "MDLoop",
+    "RunSummary",
+    "build_engine",
     "PhaseTimers",
     "write_checkpoint",
     "read_checkpoint",

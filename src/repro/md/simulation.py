@@ -1,25 +1,23 @@
-"""Serial MD driver with LAMMPS-style phase accounting.
+"""Serial MD driver facade over the shared timestep engine.
 
-``Simulation`` wires a :class:`~repro.md.system.ParticleSystem`, a
-potential, the Verlet integrator and (optionally) a Langevin thermostat
-behind one ``run(nsteps)`` loop, timing each phase the way LAMMPS does
-("SNAP" force time vs "Other" vs "io"), and reporting the MD performance
-figure of merit used throughout the paper: **atom-steps per second**
-(Katom-steps/s, Matom-steps/node-s).
+``Simulation`` keeps its historical constructor and ``run(nsteps)``
+contract but delegates everything to the backend-pluggable engine layer
+(:mod:`repro.md.engine`): a :class:`~repro.md.engine.SerialEngine` does
+the force work and the shared :class:`~repro.md.engine.MDLoop` owns
+integration, thermostat, barostat, thermo logging and checkpoint IO.
+The summary dict is the :class:`~repro.md.engine.RunSummary` of the run
+(``as_dict()``), reporting the MD performance figure of merit used
+throughout the paper: **atom-steps per second**.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from pathlib import Path
-
-import numpy as np
 
 from ..core.snap import EnergyForces
 from ..potentials.base import Potential
-from .dump import write_checkpoint
-from .integrators import LangevinThermostat, VelocityVerlet
+from .engine import MDLoop, SerialEngine, ThermoEntry
+from .integrators import LangevinThermostat
 from .neighbor import NeighborList
 from .system import ParticleSystem
 from .timers import PhaseTimers
@@ -27,19 +25,8 @@ from .timers import PhaseTimers
 __all__ = ["Simulation", "ThermoEntry"]
 
 
-@dataclass
-class ThermoEntry:
-    """One row of thermodynamic output."""
-
-    step: int
-    temperature: float
-    potential_energy: float
-    kinetic_energy: float
-    total_energy: float
-
-
 class Simulation:
-    """Serial molecular-dynamics run.
+    """Serial molecular-dynamics run (facade over the engine layer).
 
     Parameters
     ----------
@@ -59,68 +46,23 @@ class Simulation:
         :func:`repro.parallel.sharded_potential`).  ``1`` (default) keeps
         the serial evaluator; any value yields bitwise-identical forces.
         Non-SNAP potentials ignore the knob.
+    check_finite:
+        Debug sanitizer (default off): validate every kernel output for
+        NaN/Inf via :func:`repro.lint.sanitizers.check_finite`.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
                  dt: float = 1.0e-3, thermostat: LangevinThermostat | None = None,
                  barostat=None, skin: float = 0.3, checkpoint_every: int = 0,
                  checkpoint_path: str | Path | None = None,
-                 nworkers: int = 1) -> None:
-        if nworkers > 1:
-            from ..parallel.shards import sharded_potential
-
-            potential = sharded_potential(potential, nworkers)
-        self.system = system
-        self.potential = potential
-        self.integrator = VelocityVerlet(dt=dt)
-        self.thermostat = thermostat
-        self.barostat = barostat
-        self._skin = skin
-        self.neighbors = NeighborList(box=system.box, cutoff=potential.cutoff, skin=skin)
-        self.timers = PhaseTimers()
-        self.step = 0
-        self.thermo_log: list[ThermoEntry] = []
-        self.checkpoint_every = checkpoint_every
-        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
-        self._last: EnergyForces | None = None
-
-    # ------------------------------------------------------------------
-    def instantaneous_pressure(self) -> float:
-        """Current pressure [eV/A^3] from kinetic + virial terms."""
-        from ..constants import KB
-
-        if self._last is None:
-            self._forces()
-        v = self.system.box.volume
-        kin = self.system.natoms * KB * self.system.temperature()
-        return float((kin + np.trace(self._last.virial) / 3.0) / v)
-
-    def _forces(self) -> EnergyForces:
-        if self.neighbors.box is not self.system.box:
-            # the barostat rescaled the cell; rebind the neighbor list
-            self.neighbors = NeighborList(box=self.system.box,
-                                          cutoff=self.potential.cutoff,
-                                          skin=self._skin)
-        with self.timers.phase("neigh"):
-            nbr = self.neighbors.get(self.system.positions)
-        with self.timers.phase("force"):
-            result = self.potential.compute(self.system.natoms, nbr)
-        # kernel-stage split (SNAP-backed potentials expose last_timings)
-        for k, v in (getattr(self.potential, "last_timings", None) or {}).items():
-            self.timers.add(f"force.{k}", v)
-        forces = result.forces
-        if self.thermostat is not None:
-            with self.timers.phase("other"):
-                self.thermostat.add_forces(self.system, forces, self.integrator.dt)
-        self._last = result
-        return result
-
-    def _record_thermo(self) -> None:
-        ke = self.system.kinetic_energy()
-        pe = self._last.energy if self._last is not None else 0.0
-        self.thermo_log.append(ThermoEntry(
-            step=self.step, temperature=self.system.temperature(),
-            potential_energy=pe, kinetic_energy=ke, total_energy=pe + ke))
+                 nworkers: int = 1, check_finite: bool = False) -> None:
+        self.engine = SerialEngine(system, potential, skin=skin,
+                                   nworkers=nworkers,
+                                   check_finite=check_finite)
+        self.loop = MDLoop(self.engine, dt=dt, thermostat=thermostat,
+                           barostat=barostat,
+                           checkpoint_every=checkpoint_every,
+                           checkpoint_path=checkpoint_path)
 
     # ------------------------------------------------------------------
     def run(self, nsteps: int, thermo_every: int = 0) -> dict:
@@ -129,50 +71,79 @@ class Simulation:
         The summary includes ``atom_steps_per_s`` (the paper's figure of
         merit) and the per-phase time fractions (paper Fig. 4 analog).
         """
-        if nsteps < 0:
-            raise ValueError("nsteps must be non-negative")
-        t_start = time.perf_counter()
-        result = self._forces()
-        if thermo_every:
-            self._record_thermo()
-        for _ in range(nsteps):
-            with self.timers.phase("other"):
-                self.integrator.first_half(self.system, result.forces)
-            result = self._forces()
-            with self.timers.phase("other"):
-                self.integrator.second_half(self.system, result.forces)
-                if self.barostat is not None:
-                    self.barostat.apply(self.system,
-                                        self.instantaneous_pressure(),
-                                        self.integrator.dt)
-            self.step += 1
-            if thermo_every and self.step % thermo_every == 0:
-                self._record_thermo()
-            if (self.checkpoint_every and self.checkpoint_path
-                    and self.step % self.checkpoint_every == 0):
-                with self.timers.phase("io"):
-                    write_checkpoint(self.checkpoint_path, self.system, self.step)
-        wall = time.perf_counter() - t_start
-        atom_steps = self.system.natoms * max(nsteps, 1)
-        return {
-            "steps": nsteps,
-            "natoms": self.system.natoms,
-            "wall_s": wall,
-            "atom_steps_per_s": atom_steps / wall if wall > 0 else float("inf"),
-            "phase_fractions": self.timers.fractions(),
-            "phase_breakdown": self.timers.breakdown(),
-            "neighbor_builds": self.neighbors.nbuilds,
-        }
+        return self.loop.run(nsteps, thermo_every=thermo_every).as_dict()
+
+    def instantaneous_pressure(self) -> float:
+        """Current pressure [eV/A^3] from kinetic + virial terms."""
+        return self.loop.instantaneous_pressure()
 
     # ------------------------------------------------------------------
+    # engine/loop state, exposed under the historical attribute names
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> ParticleSystem:
+        return self.engine.system
+
+    @property
+    def potential(self) -> Potential:
+        return self.engine.potential
+
+    @property
+    def neighbors(self) -> NeighborList:
+        return self.engine.neighbors
+
+    @property
+    def timers(self) -> PhaseTimers:
+        return self.engine.timers
+
+    @property
+    def integrator(self):
+        return self.loop.integrator
+
+    @property
+    def step(self) -> int:
+        return self.loop.step
+
+    @property
+    def thermo_log(self) -> list[ThermoEntry]:
+        return self.loop.thermo_log
+
+    @property
+    def thermostat(self):
+        return self.loop.thermostat
+
+    @thermostat.setter
+    def thermostat(self, value) -> None:
+        self.loop.thermostat = value
+
+    @property
+    def barostat(self):
+        return self.loop.barostat
+
+    @barostat.setter
+    def barostat(self, value) -> None:
+        self.loop.barostat = value
+
+    @property
+    def checkpoint_every(self) -> int:
+        return self.loop.checkpoint_every
+
+    @checkpoint_every.setter
+    def checkpoint_every(self, value: int) -> None:
+        self.loop.checkpoint_every = value
+
+    @property
+    def checkpoint_path(self) -> Path | None:
+        return self.loop.checkpoint_path
+
+    @checkpoint_path.setter
+    def checkpoint_path(self, value) -> None:
+        self.loop.checkpoint_path = Path(value) if value else None
+
     @property
     def potential_energy(self) -> float:
-        if self._last is None:
-            self._forces()
-        return self._last.energy
+        return self.loop.potential_energy
 
     @property
     def last_result(self) -> EnergyForces:
-        if self._last is None:
-            self._forces()
-        return self._last
+        return self.loop.last_result

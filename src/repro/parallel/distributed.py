@@ -1,11 +1,11 @@
-"""Domain-decomposed MD on simulated ranks.
+"""Domain-decomposed MD facade over the shared timestep engine.
 
-Executes the paper's parallelization scheme in-process: atoms are
-partitioned over a 3D grid of virtual ranks, each rank computes forces
-on the atoms it owns using owned + ghost atoms, and the halo exchange
-traffic is accounted per step.  Accumulating per-rank results in fixed
-rank order keeps the arithmetic bit-reproducible whether ranks execute
-sequentially or concurrently on the worker pool.
+The rank-grid / persistent-halo / reverse-force machinery lives in
+:class:`repro.md.engine.DistributedEngine`; this module keeps the
+historical :class:`DistributedSimulation` driver as a thin facade that
+wires that backend into the shared :class:`repro.md.engine.MDLoop`.
+Through the loop the distributed path supports thermo logging,
+checkpointing and the Berendsen barostat exactly like the serial driver.
 
 Two halo modes mirror the two LAMMPS communication schemes:
 
@@ -18,134 +18,48 @@ Two halo modes mirror the two LAMMPS communication schemes:
     bundled potentials because their energies decompose into per-central
     -atom terms whose force contributions touch only the central atom's
     own cutoff ball (SNAP adjoint, SW triplets, FS embedding, radial
-    pairs).
+    pairs).  The accumulated global virial is exact, so pressure and
+    the barostat are available in this mode.
 
 ``"2x"`` (LAMMPS "newton off" analog)
     Ghost shells two cutoffs wide, so each rank sees the complete
     environment of every atom within one cutoff of its boundary; owned
     rows are exact and ghost rows are discarded.  No reverse pass, but
     cross-boundary pairs are evaluated on both sides and the ghost
-    volume roughly doubles.
+    volume roughly doubles.  No exact global virial exists in this
+    mode, so barostat runs are rejected.
 
-Halos and per-rank neighbor lists are **persistent**: they are built
-with a Verlet skin and reused across steps, with only the ghost-position
+Halos and per-rank neighbor lists are **persistent**: built with a
+Verlet skin and reused across steps, with only the ghost-position
 refresh (forward communication) and an O(npairs) distance filter per
 step; a rebuild happens when any atom has moved more than half the skin
-since the last build, the standard MD trigger.  The ledger records the
-rebuild cadence and both the actual and the counterfactual halo bytes.
+since the last build.  The :class:`~repro.md.engine.CommLedger` records
+the rebuild cadence and both the actual and counterfactual halo bytes.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-
 import numpy as np
 
-from ..core.snap import EnergyForces, NeighborBatch
-from ..md.box import Box
-from ..md.integrators import LangevinThermostat, VelocityVerlet
-from ..md.neighbor import build_pairs, filter_pairs
+from ..md.engine import (CommLedger, DistributedEngine, MDLoop, ThermoEntry,
+                         _cluster_pairs)
+from ..md.integrators import LangevinThermostat
 from ..md.system import ParticleSystem
 from ..md.timers import PhaseTimers
 from ..potentials.base import Potential
-from .comm import CommStats, reverse_scatter_add
+from .comm import CommStats
 from .decomposition import DomainGrid
-from .halo import (BYTES_PER_GHOST, BYTES_PER_POSITION, build_halos,
-                   halo_width_mask)
 
 __all__ = ["DistributedSimulation", "CommLedger"]
 
 
-@dataclass
-class CommLedger:
-    """Accumulated halo-exchange traffic and rebuild cadence."""
-
-    steps: int = 0
-    #: halo + neighbor-list rebuilds (1 on a quiescent run)
-    rebuilds: int = 0
-    ghost_atoms: int = 0
-    #: per-step byte accounting at the 2x-cutoff halo width (0 in 1x mode)
-    bytes_2x: int = 0
-    #: per-step byte accounting at the 1x-cutoff halo width (always kept;
-    #: measured in 1x mode, derived by a width mask in 2x mode)
-    bytes_1x: int = 0
-    #: forward traffic actually exchanged: full ghost records on rebuild
-    #: steps, position refreshes in between
-    ghost_bytes: int = 0
-    #: reverse (ghost-force) traffic actually exchanged (1x mode only)
-    reverse_bytes: int = 0
-    max_rank_atoms: int = 0
-    min_rank_atoms: int = 0
-
-    @property
-    def bytes_per_step(self) -> float:
-        return self.bytes_1x / max(self.steps, 1)
-
-    @property
-    def ghost_bytes_per_step(self) -> float:
-        return self.ghost_bytes / max(self.steps, 1)
-
-    @property
-    def reverse_bytes_per_step(self) -> float:
-        return self.reverse_bytes / max(self.steps, 1)
-
-
-@dataclass
-class _RankState:
-    """Persistent per-rank halo + neighbor state between rebuilds."""
-
-    #: global indices of owned atoms
-    owned: np.ndarray
-    #: global indices of ghost atoms (one entry per periodic image)
-    ghost_idx: np.ndarray
-    #: owned followed by ghost global indices (displacement gather)
-    local_idx: np.ndarray
-    #: skin-extended pair topology on the local cluster (may be empty)
-    pairs: NeighborBatch
-    #: pairs whose central atom is owned (1x mode), else None
-    central_mask: np.ndarray | None
-    #: cached free-space search box of the cluster (satellite of the
-    #: rebuild: derived once per build, not per evaluation)
-    search_origin: np.ndarray | None = None
-    search_box: Box | None = None
-
-    @property
-    def nowned(self) -> int:
-        return self.owned.shape[0]
-
-    @property
-    def nlocal(self) -> int:
-        return self.local_idx.shape[0]
-
-
-def _cluster_pairs(local_pos: np.ndarray, cutoff: float
-                   ) -> tuple[NeighborBatch, np.ndarray | None, Box | None]:
-    """Free-space pair search on a local atom cluster (ghosts included).
-
-    Returns ``(pairs, origin, box)`` with the open search box cached for
-    the rank state.  Degenerate clusters (zero or one atom) yield an
-    empty batch without constructing a box - a single-atom rank must not
-    trip on a zero-extent bounding box.
-    """
-    if local_pos.shape[0] < 2:
-        z = np.zeros(0, dtype=np.intp)
-        return (NeighborBatch(i_idx=z, rij=np.zeros((0, 3)), r=np.zeros(0),
-                              j_idx=z), None, None)
-    lo = local_pos.min(axis=0) - 1.5 * cutoff
-    hi = local_pos.max(axis=0) + 1.5 * cutoff
-    open_box = Box(lengths=hi - lo, periodic=(False, False, False))
-    return build_pairs(local_pos - lo, open_box, cutoff), lo, open_box
-
-
-# retained for external callers; the driver itself keeps the cached form
-def _local_pairs(local_pos: np.ndarray, cutoff: float) -> NeighborBatch:
+# retained for external callers; the engine itself keeps the cached form
+def _local_pairs(local_pos: np.ndarray, cutoff: float):
     return _cluster_pairs(local_pos, cutoff)[0]
 
 
 class DistributedSimulation:
-    """MD over a grid of virtual MPI ranks.
+    """MD over a grid of virtual MPI ranks (facade over the engine layer).
 
     Parameters mirror :class:`repro.md.Simulation` with ``nranks`` added.
 
@@ -177,11 +91,11 @@ class DistributedSimulation:
     race_check:
         Debug sanitizer (default off): run a
         :class:`repro.lint.sanitizers.RaceDetector` across each force
-        evaluation.  Every rank declares the owned-row region it
-        scatter-adds into while rank threads execute concurrently; the
-        fixed-order reverse ghost pass is declared ``serialized``.  Any
-        overlap between two concurrent writers raises
+        evaluation; any overlap between two concurrent writers raises
         :class:`repro.lint.sanitizers.RaceError` naming ranks and phase.
+    barostat / checkpoint_every / checkpoint_path:
+        Shared :class:`~repro.md.engine.MDLoop` features; the barostat
+        needs the exact global virial and therefore ``halo_mode="1x"``.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
@@ -191,67 +105,44 @@ class DistributedSimulation:
                  skin: float = 0.3, shard_workers: int = 1,
                  shard_backend: str = "thread",
                  check_finite: bool = False,
-                 race_check: bool = False) -> None:
-        if halo_mode not in ("1x", "2x"):
-            raise ValueError("halo_mode must be '1x' or '2x'")
-        if skin < 0:
-            raise ValueError("skin must be non-negative")
-        if nworkers < 1:
-            raise ValueError("nworkers must be positive")
-        if shard_workers > 1:
-            from .shards import sharded_potential
+                 race_check: bool = False,
+                 barostat=None, checkpoint_every: int = 0,
+                 checkpoint_path=None) -> None:
+        if barostat is not None and halo_mode == "2x":
+            raise ValueError(
+                "barostat requires the exact global virial, which only "
+                "halo_mode='1x' provides (2x evaluates cross-boundary "
+                "pairs twice)")
+        self.engine = DistributedEngine(
+            system, potential, nranks, nworkers=nworkers,
+            halo_mode=halo_mode, skin=skin, shard_workers=shard_workers,
+            shard_backend=shard_backend, check_finite=check_finite,
+            race_check=race_check)
+        self.loop = MDLoop(self.engine, dt=dt, thermostat=thermostat,
+                           barostat=barostat,
+                           checkpoint_every=checkpoint_every,
+                           checkpoint_path=checkpoint_path)
 
-            potential = sharded_potential(potential, shard_workers,
-                                          shard_backend)
-        self.system = system
-        self.potential = potential
-        self.grid = DomainGrid.for_ranks(system.box, nranks)
-        self.integrator = VelocityVerlet(dt=dt)
-        self.thermostat = thermostat
-        self.timers = PhaseTimers()
-        self.ledger = CommLedger()
-        self.comm_stats = CommStats()
-        self.step = 0
-        self.halo_mode = halo_mode
-        self.skin = float(skin)
-        self.nworkers = nworkers
-        self._skinned_cutoff = potential.cutoff + self.skin
-        # 1x: neighbors of owned atoms; 2x: neighbors of those neighbors
-        self._halo_width = self._skinned_cutoff * (1 if halo_mode == "1x"
-                                                   else 2)
-        self._pool: ThreadPoolExecutor | None = None
-        self._ranks: list[_RankState] | None = None
-        self._ref_pos: np.ndarray | None = None
-        self._ghost_count = 0
-        self._ghost_count_1x = 0
-        self._ghost_count_2x = 0
-        self.check_finite = bool(check_finite)
-        #: live :class:`~repro.lint.sanitizers.RaceDetector` when
-        #: ``race_check`` is on, else None; its ``reports`` list holds
-        #: every overlap seen so far
-        self.race_detector = None
-        if race_check:
-            from ..lint.sanitizers import RaceDetector
+    # ------------------------------------------------------------------
+    def compute_forces(self) -> tuple[float, np.ndarray]:
+        """One parallel force evaluation; returns (energy, forces)."""
+        result = self.engine.evaluate()
+        return result.energy, result.forces
 
-            self.race_detector = RaceDetector()
+    def run(self, nsteps: int, thermo_every: int = 0) -> dict:
+        """Advance ``nsteps``; returns a performance/traffic summary."""
+        return self.loop.run(nsteps, thermo_every=thermo_every).as_dict()
+
+    def instantaneous_pressure(self) -> float:
+        """Current pressure [eV/A^3] (needs ``halo_mode="1x"``)."""
+        return self.loop.instantaneous_pressure()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=min(self.nworkers, self.grid.nranks))
-        return self._pool
-
     def close(self) -> None:
         """Shut down the rank pool and any sharded potential (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        close = getattr(self.potential, "close", None)
-        if callable(close):
-            close()
+        self.engine.close()
 
     def __enter__(self) -> "DistributedSimulation":
         return self
@@ -260,238 +151,76 @@ class DistributedSimulation:
         self.close()
 
     # ------------------------------------------------------------------
-    # persistent halo / neighbor maintenance
+    # engine/loop state, exposed under the historical attribute names
     # ------------------------------------------------------------------
-    def _rebuild(self, pos: np.ndarray) -> None:
-        """Reassign owners, rebuild skinned halos and per-rank pair lists."""
-        grid = self.grid
-        owner = grid.assign_atoms(pos)
-        halos = build_halos(grid, pos, owner, self._halo_width)
-        states: list[_RankState] = []
-        count_1x = 0
-        for rank in range(grid.nranks):
-            owned = np.nonzero(owner == rank)[0]
-            halo = halos[rank]
-            if self.halo_mode == "2x":
-                count_1x += int(halo_width_mask(
-                    grid, rank, halo.positions, self._skinned_cutoff).sum())
-            if owned.size == 0:
-                z = np.zeros(0, dtype=np.intp)
-                states.append(_RankState(
-                    owned=owned, ghost_idx=z, local_idx=z,
-                    pairs=NeighborBatch(i_idx=z, rij=np.zeros((0, 3)),
-                                        r=np.zeros(0), j_idx=z),
-                    central_mask=None))
-                continue
-            local_pos = np.concatenate([pos[owned], halo.positions])
-            pairs, origin, sbox = _cluster_pairs(local_pos,
-                                                 self._skinned_cutoff)
-            central = pairs.i_idx < owned.size if self.halo_mode == "1x" \
-                else None
-            states.append(_RankState(
-                owned=owned, ghost_idx=halo.indices,
-                local_idx=np.concatenate([owned, halo.indices]),
-                pairs=pairs, central_mask=central,
-                search_origin=origin, search_box=sbox))
-        self._ranks = states
-        self._ref_pos = pos.copy()
-        self._ghost_count = sum(h.count for h in halos)
-        if self.halo_mode == "1x":
-            self._ghost_count_1x = self._ghost_count
-            self._ghost_count_2x = 0
-        else:
-            self._ghost_count_1x = count_1x
-            self._ghost_count_2x = self._ghost_count
-        counts = np.bincount(owner, minlength=grid.nranks)
-        self.ledger.rebuilds += 1
-        self.ledger.max_rank_atoms = max(self.ledger.max_rank_atoms,
-                                         int(counts.max()))
-        self.ledger.min_rank_atoms = int(counts.min()) \
-            if self.ledger.min_rank_atoms == 0 \
-            else min(self.ledger.min_rank_atoms, int(counts.min()))
+    @property
+    def system(self) -> ParticleSystem:
+        return self.engine.system
 
-    # ------------------------------------------------------------------
-    # per-rank evaluation
-    # ------------------------------------------------------------------
-    def _eval_rank(self, rank: int, state: _RankState,
-                   disp: np.ndarray | None, capture_stages: bool):
-        """One rank's force evaluation against the persistent lists.
+    @property
+    def potential(self) -> Potential:
+        return self.engine.potential
 
-        Returns ``(energy, owned_forces, ghost_forces, timings, stages)``;
-        pure w.r.t. shared state, so rank evaluations may run on any
-        thread - only the fixed-order accumulation on the caller ties
-        results together.  With ``race_check`` on, the rank declares the
-        owned-row region it will scatter into from this (possibly pool)
-        thread; with ``check_finite`` on, kernel outputs are validated
-        here so a NaN is attributed to the rank that produced it.
-        """
-        if state.nowned == 0:
-            return 0.0, np.zeros((0, 3)), None, {"neigh": 0.0, "force": 0.0}, \
-                None
-        t0 = time.perf_counter()
-        ref = state.pairs
-        if disp is None:
-            rij, r = ref.rij, ref.r
-        else:
-            dl = disp[state.local_idx]
-            rij = ref.rij + dl[ref.j_idx] - dl[ref.i_idx]
-            r = np.linalg.norm(rij, axis=1)
-        keep = r < self.potential.cutoff
-        if state.central_mask is not None:
-            keep &= state.central_mask
-        nbr = filter_pairs(ref, rij, r, keep)
-        t1 = time.perf_counter()
-        result: EnergyForces = self.potential.compute(state.nlocal, nbr)
-        t2 = time.perf_counter()
-        nown = state.nowned
-        # 1x mode: only owned-central pairs were evaluated, so owned rows
-        # hold this rank's full central contributions and ghost rows the
-        # partial forces owed to other ranks.  2x mode: owned rows are
-        # exact (complete environments inside the wide halo), ghost rows
-        # are duplicates of work other ranks also did - discard them.
-        if self.check_finite:
-            from ..lint.sanitizers import check_finite
+    @property
+    def grid(self) -> DomainGrid:
+        return self.engine.grid
 
-            check_finite("rank_force", where=f"rank{rank}",
-                         peratom=result.peratom[:nown],
-                         forces=result.forces)
-        if self.race_detector is not None:
-            # declare this rank's owned-row scatter region from the
-            # executing thread; disjointness across ranks is the
-            # invariant concurrent accumulation relies on
-            self.race_detector.record("forces.scatter", f"rank{rank}",
-                                      state.owned)
-        energy = float(result.peratom[:nown].sum())
-        ghost = result.forces[nown:] if self.halo_mode == "1x" else None
-        stages = None
-        if capture_stages:
-            stages = dict(getattr(self.potential, "last_timings", None) or {})
-        return energy, result.forces[:nown], ghost, \
-            {"neigh": t1 - t0, "force": t2 - t1}, stages
+    @property
+    def integrator(self):
+        return self.loop.integrator
 
-    # ------------------------------------------------------------------
-    def compute_forces(self) -> tuple[float, np.ndarray]:
-        """One parallel force evaluation; returns (energy, forces)."""
-        system = self.system
-        pos = system.box.wrap(system.positions)
-        n = system.natoms
-        ledger = self.ledger
+    @property
+    def thermostat(self):
+        return self.loop.thermostat
 
-        disp: np.ndarray | None = None
-        if self._ranks is None:
-            rebuild = True
-        else:
-            disp = system.box.minimum_image(pos - self._ref_pos)
-            rebuild = bool(np.max(np.sum(disp * disp, axis=1))
-                           > (0.5 * self.skin) ** 2)
-        if rebuild:
-            with self.timers.phase("comm"), \
-                    self.timers.phase("comm.halo_build"):
-                self._rebuild(pos)
-            disp = None
-            ledger.ghost_bytes += self._ghost_count * BYTES_PER_GHOST
-        else:
-            # forward communication: refresh ghost positions in place
-            with self.timers.phase("comm"), self.timers.phase("comm.forward"):
-                ledger.ghost_bytes += self._ghost_count * BYTES_PER_POSITION
-        ledger.steps += 1
-        ledger.ghost_atoms += self._ghost_count
-        ledger.bytes_1x += self._ghost_count_1x * BYTES_PER_GHOST
-        ledger.bytes_2x += self._ghost_count_2x * BYTES_PER_GHOST
+    @thermostat.setter
+    def thermostat(self, value) -> None:
+        self.loop.thermostat = value
 
-        if self.race_detector is not None:
-            self.race_detector.begin_epoch()
-        states = self._ranks
-        concurrent = self.nworkers > 1 and self.grid.nranks > 1
-        if concurrent:
-            pool = self._ensure_pool()
-            results = list(pool.map(
-                lambda rk_st: self._eval_rank(rk_st[0], rk_st[1], disp,
-                                              capture_stages=False),
-                enumerate(states)))
-        else:
-            results = [self._eval_rank(rank, st, disp, capture_stages=True)
-                       for rank, st in enumerate(states)]
+    @property
+    def barostat(self):
+        return self.loop.barostat
 
-        energy = 0.0
-        forces = np.zeros((n, 3))
-        t_neigh = t_force = 0.0
-        stage_sums: dict[str, float] = {}
-        ghost_blocks: list[np.ndarray] = []
-        ghost_values: list[np.ndarray] = []
-        ghost_ranks: list[int] = []
-        for rank, (state, (e, owned_f, ghost_f, tim, stages)) in enumerate(
-                zip(states, results)):
-            energy += e
-            forces[state.owned] += owned_f
-            if ghost_f is not None:
-                ghost_blocks.append(state.ghost_idx)
-                ghost_values.append(ghost_f)
-                ghost_ranks.append(rank)
-            t_neigh += tim["neigh"]
-            t_force += tim["force"]
-            if stages:
-                for k, v in stages.items():
-                    stage_sums[k] = stage_sums.get(k, 0.0) + v
-        self.timers.add("neigh", t_neigh)
-        self.timers.add("neigh.rebuild" if rebuild else "neigh.refresh",
-                        t_neigh)
-        self.timers.add("force", t_force)
-        for k, v in stage_sums.items():
-            self.timers.add(f"force.{k}", v)
+    @property
+    def timers(self) -> PhaseTimers:
+        return self.engine.timers
 
-        if ghost_blocks:
-            if self.race_detector is not None:
-                # ghost contributions from different ranks legitimately
-                # target the same owner rows; the reverse pass applies
-                # them in fixed rank order on this thread, so they are
-                # declared serialized (exempt from pairwise overlap)
-                for rank, blk in zip(ghost_ranks, ghost_blocks):
-                    self.race_detector.record("comm.reverse", f"rank{rank}",
-                                              blk, serialized=True)
-            with self.timers.phase("comm"), self.timers.phase("comm.reverse"):
-                before = self.comm_stats.bytes
-                reverse_scatter_add(forces, ghost_blocks, ghost_values,
-                                    stats=self.comm_stats)
-                ledger.reverse_bytes += self.comm_stats.bytes - before
-        if self.race_detector is not None:
-            self.race_detector.check()
-        if self.check_finite:
-            from ..lint.sanitizers import check_finite
+    @property
+    def ledger(self) -> CommLedger:
+        return self.engine.ledger
 
-            check_finite("accumulate", where="distributed",
-                         energy=np.array(energy), forces=forces)
-        return energy, forces
+    @property
+    def comm_stats(self) -> CommStats:
+        return self.engine.comm_stats
 
-    # ------------------------------------------------------------------
-    def run(self, nsteps: int) -> dict:
-        """Advance ``nsteps``; returns a performance/traffic summary."""
-        t0 = time.perf_counter()
-        energy, forces = self.compute_forces()
-        for _ in range(nsteps):
-            with self.timers.phase("other"):
-                if self.thermostat is not None:
-                    self.thermostat.add_forces(self.system, forces, self.integrator.dt)
-                self.integrator.first_half(self.system, forces)
-            energy, forces = self.compute_forces()
-            with self.timers.phase("other"):
-                self.integrator.second_half(self.system, forces)
-            self.step += 1
-        wall = time.perf_counter() - t0
-        return {
-            "steps": nsteps,
-            "natoms": self.system.natoms,
-            "nranks": self.grid.nranks,
-            "nworkers": self.nworkers,
-            "grid": self.grid.dims,
-            "halo_mode": self.halo_mode,
-            "skin": self.skin,
-            "wall_s": wall,
-            "atom_steps_per_s": self.system.natoms * max(nsteps, 1) / wall,
-            "phase_fractions": self.timers.fractions(),
-            "phase_breakdown": self.timers.breakdown(),
-            "rebuilds": self.ledger.rebuilds,
-            "ghost_bytes_per_step": self.ledger.ghost_bytes_per_step,
-            "reverse_bytes_per_step": self.ledger.reverse_bytes_per_step,
-            "energy": energy,
-        }
+    @property
+    def step(self) -> int:
+        return self.loop.step
+
+    @property
+    def thermo_log(self) -> list[ThermoEntry]:
+        return self.loop.thermo_log
+
+    @property
+    def halo_mode(self) -> str:
+        return self.engine.halo_mode
+
+    @property
+    def skin(self) -> float:
+        return self.engine.skin
+
+    @property
+    def nworkers(self) -> int:
+        return self.engine.nworkers
+
+    @property
+    def check_finite(self) -> bool:
+        return self.engine.check_finite
+
+    @property
+    def race_detector(self):
+        return self.engine.race_detector
+
+    @property
+    def _ranks(self):
+        return self.engine._ranks

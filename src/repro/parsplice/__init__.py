@@ -1,7 +1,7 @@
 """Parallel Trajectory Splicing (extension; see DESIGN.md)."""
 
 from .model import MarkovStateModel, arrhenius_msm, nanoparticle_landscape
-from .oracle import TransitionOracle
+from .oracle import TransitionOracle, measured_md_rate
 from .qsd import (DoubleWell, evolve, exponentiality, first_escape_times,
                   qsd_sample)
 from .scheduler import ParSpliceRun, run_parsplice
@@ -16,6 +16,7 @@ __all__ = [
     "SegmentGenerator",
     "SpliceEngine",
     "TransitionOracle",
+    "measured_md_rate",
     "DoubleWell",
     "evolve",
     "qsd_sample",

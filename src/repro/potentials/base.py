@@ -24,6 +24,13 @@ class Potential(abc.ABC):
     #: interaction cutoff [A]; the neighbor list must use at least this.
     cutoff: float
 
+    #: engine-facing kernel-stage timing contract: a potential may
+    #: expose per-stage seconds of its latest ``compute`` call here
+    #: (e.g. SNAP's ``compute_ui``/``compute_yi``); the force engines
+    #: fold them into the shared PhaseTimers as ``force.<stage>``
+    #: sub-phases.  ``None`` (the default) means no stage split.
+    last_timings: dict[str, float] | None = None
+
     @abc.abstractmethod
     def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
         """Evaluate energy/forces/virial for the given neighborhood."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..md.box import Box
-from ..md.simulation import Simulation
+from ..md.engine import MDLoop, build_engine
 from ..md.system import ParticleSystem
 from ..md.integrators import LangevinThermostat
 from ..potentials.base import Potential
@@ -69,14 +69,22 @@ def melt_quench(potential: Potential, natoms: int,
                 density: float = AC_DENSITY_EXTREME,
                 melt_temp: float = 8000.0, quench_temp: float = 300.0,
                 melt_steps: int = 200, quench_steps: int = 200,
-                dt: float = 5.0e-4, seed: int = 0) -> ParticleSystem:
-    """Generate a-C by melting a random sample and quenching it."""
+                dt: float = 5.0e-4, seed: int = 0,
+                nranks: int = 1, nworkers: int = 1) -> ParticleSystem:
+    """Generate a-C by melting a random sample and quenching it.
+
+    Runs on any execution backend: ``nranks``/``nworkers`` select the
+    engine via :func:`repro.md.build_engine` (serial by default).
+    """
     system = random_packed(natoms, density=density, seed=seed)
     system.seed_velocities(melt_temp, rng=np.random.default_rng(seed + 1))
-    sim = Simulation(system, potential, dt=dt,
-                     thermostat=LangevinThermostat(temp=melt_temp, seed=seed + 2))
-    sim.run(melt_steps)
-    sim.thermostat = LangevinThermostat(temp=quench_temp, seed=seed + 3)
-    sim.run(quench_steps)
+    with build_engine(system, potential, nranks=nranks,
+                      nworkers=nworkers) as engine:
+        loop = MDLoop(engine, dt=dt,
+                      thermostat=LangevinThermostat(temp=melt_temp,
+                                                    seed=seed + 2))
+        loop.run(melt_steps)
+        loop.thermostat = LangevinThermostat(temp=quench_temp, seed=seed + 3)
+        loop.run(quench_steps)
     system.wrap()
     return system

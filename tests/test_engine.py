@@ -1,0 +1,203 @@
+"""Serial <-> distributed feature parity through the shared engine layer.
+
+The one-timestep-engine refactor promises that both drivers are thin
+facades over the same :class:`repro.md.MDLoop`: thermo logging,
+checkpoint IO and the barostat behave identically on every backend, and
+``run()`` emits the same :class:`repro.md.RunSummary` shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md import (BerendsenBarostat, DistributedEngine, LangevinThermostat,
+                      MDLoop, RunSummary, SerialEngine, Simulation,
+                      build_engine)
+from repro.parallel import DistributedSimulation
+from repro.potentials import LennardJones
+from repro.structures import lattice_system
+
+#: "matching rows" tolerance: the backends differ only by fixed-order
+#: float accumulation, so rows agree to ~1e-12 relative; 1e-10 is the
+#: contract
+TOL = dict(rtol=1e-10, atol=1e-10)
+
+
+def lj_setup(temp=40.0, seed=5):
+    s = lattice_system("fcc", a=2.5, reps=(5, 5, 5))
+    s.seed_velocities(temp, rng=np.random.default_rng(seed))
+    pot = LennardJones(epsilon=0.2, sigma=2.2, cutoff=3.0)
+    return s, pot
+
+
+# ======================================================================
+# factory
+# ======================================================================
+class TestBuildEngine:
+    def test_selects_serial_backend(self):
+        s, pot = lj_setup()
+        engine = build_engine(s, pot)
+        assert isinstance(engine, SerialEngine)
+
+    def test_selects_distributed_backend(self):
+        s, pot = lj_setup()
+        with build_engine(s, pot, nranks=8) as engine:
+            assert isinstance(engine, DistributedEngine)
+            assert engine.grid.nranks == 8
+
+    def test_every_backend_runs_the_same_loop(self):
+        s, pot = lj_setup()
+        with build_engine(s, pot, nranks=4) as engine:
+            summary = MDLoop(engine, dt=1e-3).run(2)
+        assert isinstance(summary, RunSummary)
+
+
+# ======================================================================
+# feature parity: thermo, checkpoints, summary shape
+# ======================================================================
+class TestFeatureParity:
+    def test_thermo_log_rows_match(self):
+        rows = {}
+        for backend in ("serial", "distributed"):
+            s, pot = lj_setup()
+            thermostat = LangevinThermostat(temp=40.0, damp=0.5, seed=11)
+            if backend == "serial":
+                sim = Simulation(s, pot, dt=1e-3, thermostat=thermostat)
+                sim.run(5, thermo_every=1)
+                rows[backend] = sim.thermo_log
+            else:
+                with DistributedSimulation(s, pot, nranks=8, dt=1e-3,
+                                           thermostat=thermostat) as dsim:
+                    dsim.run(5, thermo_every=1)
+                    rows[backend] = dsim.thermo_log
+        assert len(rows["serial"]) == len(rows["distributed"]) == 6
+        for a, b in zip(rows["serial"], rows["distributed"]):
+            assert a.step == b.step
+            assert np.isclose(a.temperature, b.temperature, **TOL)
+            assert np.isclose(a.potential_energy, b.potential_energy, **TOL)
+            assert np.isclose(a.kinetic_energy, b.kinetic_energy, **TOL)
+            assert np.isclose(a.total_energy, b.total_energy, **TOL)
+
+    def test_checkpoint_files_identical(self, tmp_path):
+        paths = {}
+        for backend in ("serial", "distributed"):
+            s, pot = lj_setup()
+            path = tmp_path / f"{backend}.npz"
+            if backend == "serial":
+                sim = Simulation(s, pot, dt=1e-3, checkpoint_every=2,
+                                 checkpoint_path=path)
+                sim.run(4)
+            else:
+                with DistributedSimulation(s, pot, nranks=8, dt=1e-3,
+                                           checkpoint_every=2,
+                                           checkpoint_path=path) as dsim:
+                    dsim.run(4)
+            paths[backend] = path
+        with np.load(paths["serial"]) as ser, \
+                np.load(paths["distributed"]) as dist:
+            assert sorted(ser.files) == sorted(dist.files)
+            assert int(ser["step"]) == int(dist["step"]) == 4
+            for key in ser.files:
+                assert np.allclose(ser[key], dist[key], **TOL), key
+
+    def test_distributed_checkpoint_counted_as_io(self, tmp_path):
+        s, pot = lj_setup()
+        with DistributedSimulation(s, pot, nranks=4, dt=1e-3,
+                                   checkpoint_every=1,
+                                   checkpoint_path=tmp_path / "c.npz") as d:
+            d.run(2)
+            assert "io" in d.timers.totals
+
+    def test_summary_fields_equal_shaped(self):
+        s1, pot = lj_setup()
+        serial = Simulation(s1, pot, dt=1e-3).run(2)
+        s2, _ = lj_setup()
+        with DistributedSimulation(s2, pot, nranks=8, dt=1e-3) as dsim:
+            dist = dsim.run(2)
+        shared = {"steps", "natoms", "wall_s", "atom_steps_per_s",
+                  "phase_fractions", "phase_breakdown", "neighbor_builds",
+                  "energy"}
+        assert shared <= set(serial) and shared <= set(dist)
+        for key in ("steps", "natoms"):
+            assert serial[key] == dist[key]
+        assert np.isclose(serial["energy"], dist["energy"], **TOL)
+        # the comm block stays distributed-only: the serial legacy key
+        # set must not grow backend fields it never had
+        comm_only = {"nranks", "nworkers", "grid", "halo_mode", "skin",
+                     "rebuilds", "ghost_bytes_per_step",
+                     "reverse_bytes_per_step"}
+        assert comm_only <= set(dist)
+        assert not (comm_only & set(serial))
+
+    def test_pressure_parity(self):
+        s1, pot = lj_setup()
+        sim = Simulation(s1, pot, dt=1e-3)
+        s2, _ = lj_setup()
+        with DistributedSimulation(s2, pot, nranks=8, dt=1e-3) as dsim:
+            assert np.isclose(sim.instantaneous_pressure(),
+                              dsim.instantaneous_pressure(), **TOL)
+
+
+# ======================================================================
+# barostat on the distributed path (new through the shared loop)
+# ======================================================================
+class TestDistributedBarostat:
+    def test_barostat_tracks_serial(self):
+        volumes = {}
+        for backend in ("serial", "distributed"):
+            s, pot = lj_setup()
+            barostat = BerendsenBarostat(pressure=0.5, tau=0.05, kappa=0.3)
+            if backend == "serial":
+                sim = Simulation(s, pot, dt=1e-3, barostat=barostat)
+                sim.run(5)
+            else:
+                with DistributedSimulation(s, pot, nranks=8, dt=1e-3,
+                                           barostat=barostat) as dsim:
+                    dsim.run(5)
+            volumes[backend] = s.box.volume
+        ref = lj_setup()[0].box.volume
+        assert volumes["serial"] != ref  # the barostat actually acted
+        assert np.isclose(volumes["serial"], volumes["distributed"], **TOL)
+
+    def test_barostat_rejected_in_2x_mode(self):
+        s, pot = lj_setup()
+        with pytest.raises(ValueError, match="1x"):
+            DistributedSimulation(s, pot, nranks=2, halo_mode="2x",
+                                  barostat=BerendsenBarostat(pressure=0.5))
+
+    def test_no_virial_in_2x_mode(self):
+        # 2x halos need subdomains >= 2*cutoff, so use a wider box
+        s = lattice_system("fcc", a=2.5, reps=(6, 6, 6))
+        s.seed_velocities(40.0, rng=np.random.default_rng(5))
+        pot = LennardJones(epsilon=0.2, sigma=2.2, cutoff=3.0)
+        with DistributedSimulation(s, pot, nranks=2,
+                                   halo_mode="2x") as dsim:
+            with pytest.raises(RuntimeError, match="virial"):
+                dsim.instantaneous_pressure()
+
+
+# ======================================================================
+# satellite fixes shared via RunSummary / the engines
+# ======================================================================
+class TestSatelliteFixes:
+    def test_neighbor_builds_survive_barostat_rebind(self):
+        # the barostat rescales the cell every step, rebinding the
+        # neighbor list; the build counter must carry across rebinds
+        # (it used to reset, reporting 1 regardless of nsteps)
+        s, pot = lj_setup()
+        sim = Simulation(s, pot, dt=1e-3,
+                         barostat=BerendsenBarostat(pressure=0.5, tau=0.05))
+        out = sim.run(5)
+        assert out["neighbor_builds"] >= 5
+
+    def test_zero_wall_rate_is_guarded(self):
+        s, pot = lj_setup()
+        engine = SerialEngine(s, pot)
+        summary = RunSummary.from_run(engine, 0, 0.0, 0.0)
+        assert summary.atom_steps_per_s == float("inf")
+
+    def test_distributed_summary_uses_guarded_rate(self):
+        s, pot = lj_setup()
+        with build_engine(s, pot, nranks=4) as engine:
+            summary = RunSummary.from_run(engine, 0, 0.0, 0.0)
+        assert summary.atom_steps_per_s == float("inf")
+        assert summary.nranks == 4

@@ -282,6 +282,49 @@ class TestR4Hygiene:
 
 
 # ======================================================================
+# R4-raw-timer - private timing paths in the drivers
+# ======================================================================
+class TestR4RawTimer:
+    #: a path inside the driver/engine timing scope
+    DRIVER = "repro/md/engine.py"
+
+    def test_raw_perf_counter_in_driver_fires(self):
+        assert_fires("R4-raw-timer", (
+            "import time\n"
+            "def run(nsteps):\n"
+            "    t0 = time.perf_counter()\n"
+            "    return time.perf_counter() - t0\n"), path=self.DRIVER)
+
+    def test_perf_counter_inside_mdloop_is_silent(self):
+        assert_silent("R4-raw-timer", (
+            "import time\n"
+            "class MDLoop:\n"
+            "    def run(self, nsteps):\n"
+            "        t0 = time.perf_counter()\n"
+            "        return time.perf_counter() - t0\n"), path=self.DRIVER)
+
+    def test_perf_counter_inside_phasetimers_is_silent(self):
+        assert_silent("R4-raw-timer", (
+            "import time\n"
+            "class PhaseTimers:\n"
+            "    def tick(self):\n"
+            "        return time.perf_counter()\n"),
+            path="repro/md/simulation.py")
+
+    def test_scope_excludes_cold_paths(self):
+        assert_silent("R4-raw-timer", (
+            "import time\n"
+            "t0 = time.perf_counter()\n"), path=COLD)
+
+    def test_pragma_suppresses_with_justification(self):
+        src = ("import time\n"
+               "def stopwatch():\n"
+               "    return time.perf_counter()  "
+               "# repro-lint: disable=R4-raw-timer -- pool-thread stopwatch\n")
+        assert_silent("R4-raw-timer", src, path=self.DRIVER)
+
+
+# ======================================================================
 # suppression pragmas
 # ======================================================================
 class TestPragmas:
@@ -374,8 +417,10 @@ class TestTreeIsClean:
         assert findings == [], f"repro.lint found new issues:\n{rendered}"
 
     def test_cli_module_entrypoint(self):
+        # the tier-1 lint session covers benchmarks/ alongside src/
         proc = subprocess.run(
-            [sys.executable, "-m", "repro.lint", str(REPO / "src")],
+            [sys.executable, "-m", "repro.lint", str(REPO / "src"),
+             str(REPO / "benchmarks")],
             capture_output=True, text=True,
             env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0, proc.stdout + proc.stderr
