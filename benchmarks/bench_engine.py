@@ -1,11 +1,18 @@
 """Engine-layer benchmark: one MD loop, every execution backend.
 
 Runs the identical LJ system through :func:`repro.md.build_engine` on
-the serial, sharded-serial, and domain-decomposed backends — the same
-:class:`repro.md.MDLoop` drives all three — and records the per-backend
-throughput to ``BENCH_engine.json`` at the repo root via
-:mod:`repro.core.benchrecord`.  Doubles as an end-to-end check that the
-backends agree on the physics at the engine boundary.
+the serial, sharded-serial, domain-decomposed and shared-memory
+multiprocess backends — the same :class:`repro.md.MDLoop` drives all
+four — and records the per-backend throughput to ``BENCH_engine.json``
+at the repo root via :mod:`repro.core.benchrecord`.  Doubles as an
+end-to-end check that the backends agree on the physics at the engine
+boundary: the process backend must be *bitwise* identical to serial.
+
+The record's host metadata includes the usable CPU count
+(``sched_getaffinity``, not the machine count); on a 1-CPU container
+the process backend's speedup_vs_serial is necessarily < 1 — workers
+time-slice one core and pay the synchronization tax — so read that
+field against ``host.cpu_count``.
 """
 
 import time
@@ -34,6 +41,8 @@ def test_engine_backends_record(benchmark, report, rng):
         "serial": dict(),
         "serial_workers2": dict(nworkers=2),
         "distributed_8r": dict(nranks=8),
+        "process_2p": dict(backend="process", nprocs=2),
+        "process_4p": dict(backend="process", nprocs=4),
     }
     seconds = {}
     extras = {}
@@ -53,9 +62,16 @@ def test_engine_backends_record(benchmark, report, rng):
             "neighbor_builds": out.neighbor_builds,
             "phase_fractions": out.phase_fractions,
         }
-    # every backend must agree on the physics
+        if out.nprocs is not None:
+            extras[name]["nprocs"] = out.nprocs
+        if out.ghost_bytes_per_step is not None:
+            extras[name]["ghost_bytes_per_step"] = out.ghost_bytes_per_step
+    # every backend must agree on the physics; the multiprocess backend
+    # carries the strongest contract (bitwise equality with serial)
     assert np.array_equal(forces["serial"], forces["serial_workers2"])
     assert np.allclose(forces["serial"], forces["distributed_8r"], atol=1e-10)
+    assert np.array_equal(forces["serial"], forces["process_2p"])
+    assert np.array_equal(forces["serial"], forces["process_4p"])
 
     record = make_record(
         "engine_backends",

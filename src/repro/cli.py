@@ -16,8 +16,8 @@ Commands
     Measure the local SNAP kernel (Table-I-style row for this host).
 ``run-md``
     Run real MD on any execution backend (serial / sharded /
-    distributed) through the shared engine layer and print the
-    :class:`repro.md.RunSummary`.
+    distributed / multiprocess) through the shared engine layer and
+    print the :class:`repro.md.RunSummary`.
 """
 
 from __future__ import annotations
@@ -150,11 +150,16 @@ def _cmd_run_md(args) -> int:
         params = SNAPParams(twojmax=args.twojmax, rcut=rcut)
         pot = SNAPPotential(params, beta=np.random.default_rng(0).normal(
             size=SNAP(params).index.ncoeff))
-    with build_engine(s, pot, nranks=args.nranks,
-                      nworkers=args.nworkers) as engine:
+    with build_engine(s, pot, backend=args.backend, nranks=args.nranks,
+                      nworkers=args.nworkers, nprocs=args.nprocs) as engine:
         summary = MDLoop(engine, dt=args.dt).run(args.steps)
     backend = type(engine).__name__
-    print(f"{backend}: {summary.natoms} atoms x {summary.steps} steps "
+    layout = ""
+    if summary.nprocs is not None:
+        layout = f" [{summary.nprocs} procs]"
+    elif summary.nranks is not None:
+        layout = f" [{summary.nranks} ranks x {summary.nworkers} workers]"
+    print(f"{backend}{layout}: {summary.natoms} atoms x {summary.steps} steps "
           f"in {summary.wall_s:.3f} s "
           f"-> {summary.atom_steps_per_s / 1e3:.2f} Katom-steps/s")
     for phase, frac in sorted(summary.phase_fractions.items()):
@@ -182,8 +187,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--dt", type=float, default=1.0e-3)
     p.add_argument("--temp", type=float, default=300.0)
+    p.add_argument("--backend", choices=("serial", "distributed", "process"),
+                   default=None,
+                   help="force backend; default infers from --nranks/--nprocs")
     p.add_argument("--nranks", type=int, default=1)
     p.add_argument("--nworkers", type=int, default=1)
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="worker processes for the process backend")
     p.add_argument("--potential", choices=("lj", "snap"), default="lj")
     p.add_argument("--twojmax", type=int, default=4)
     p.set_defaults(fn=_cmd_run_md)

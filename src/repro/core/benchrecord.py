@@ -24,15 +24,29 @@ __all__ = ["host_metadata", "make_record", "write_record",
            "make_snap_record", "write_snap_record"]
 
 
-def host_metadata() -> dict:
-    """Identify the machine and software stack behind a measurement."""
+def _usable_cpu_count() -> int | None:
+    """CPUs this process may actually schedule on.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    mask; in a pinned container the two differ and the mask is what
+    bounds any multiprocess speedup claim.  Falls back to the machine
+    count where ``sched_getaffinity`` does not exist (macOS, Windows).
+    """
     import os
 
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        return len(getaffinity(0))
+    return os.cpu_count()
+
+
+def host_metadata() -> dict:
+    """Identify the machine and software stack behind a measurement."""
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "processor": platform.processor(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": _usable_cpu_count(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
     }

@@ -319,7 +319,8 @@ class SNAP:
         return npairs * bytes_per_pair <= self.params.store_u_budget_mb * 2**20
 
     def compute_utot(self, natoms: int, nbr: NeighborBatch,
-                     cache: list | None = None) -> np.ndarray:
+                     cache: list | None = None,
+                     chunk_origin: int = 0) -> np.ndarray:
         """Stage 1 (compute_ui): accumulate ``U_tot`` per atom.
 
         Returns a complex array of shape ``(natoms, nu)``; the self
@@ -329,12 +330,27 @@ class SNAP:
         layer-major ``U`` layers and switching factors are appended to it
         so :meth:`compute_forces_from_y` can reuse them instead of
         recomputing (the ``store_u`` trade).
+
+        ``chunk_origin`` shifts the chunk grid so that *global* pair
+        index ``chunk_origin + lo`` lands on multiples of
+        ``params.chunk``: an evaluator working on a contiguous row slice
+        of a larger pair list passes its global pair offset and gets the
+        exact per-chunk segment grouping of the full-list evaluation.
+        The per-atom accumulation order (and hence ``U_tot``) is then
+        bitwise identical to the serial pass over the full list - the
+        property the multiprocess row-slice backend relies on.  With a
+        ``cache``, ``chunk_origin`` must be 0 (cache entries are indexed
+        on the unshifted grid).
         """
         p = self.params
+        if cache is not None and chunk_origin:
+            raise ValueError("chunk_origin requires cache=None")
         utot = np.zeros((natoms, self.index.nu), dtype=np.complex128)
         utot[:, self._diag] = p.wself
-        for lo in range(0, nbr.npairs, p.chunk):
-            sl = slice(lo, min(lo + p.chunk, nbr.npairs))
+        lo = 0
+        while lo < nbr.npairs:
+            sl = slice(lo, min(lo + p.chunk - (chunk_origin + lo) % p.chunk,
+                               nbr.npairs))
             rcut, wj, r_eff = self._pair_params(nbr, sl)
             ck = cayley_klein(nbr.rij[sl], r_eff, rcut, p.rfac0, p.rmin0)
             u_lm = compute_u_layers_lm(ck, p.twojmax)
@@ -351,6 +367,7 @@ class SNAP:
                 np.add.at(utot, idx, w.T)
             if cache is not None:
                 cache.append((ck, u_lm, sfac, dsfac))
+            lo = sl.stop
         return utot
 
     def _pair_params(self, nbr: NeighborBatch, sl: slice):

@@ -1,8 +1,9 @@
 """Repo-aware static-analysis rules for the SNAP/MD codebase.
 
-Four rule families, mirroring the conventions the threaded hot path
-relies on (see the module docstrings of :mod:`repro.parallel.shards`
-and :mod:`repro.parallel.distributed`):
+Five rule families, mirroring the conventions the concurrent hot path
+relies on (see the module docstrings of :mod:`repro.parallel.shards`,
+:mod:`repro.parallel.distributed` and
+:mod:`repro.parallel.process_engine`):
 
 R1 *determinism*
     Bitwise reproducibility rests on fixed iteration and accumulation
@@ -27,6 +28,12 @@ R4 *hygiene*
     Bare/broad ``except``, mutable default arguments, and bindings that
     shadow NumPy-adjacent builtins (``sum``, ``abs``, ``all``, ...).
 
+R5 *shared-memory lifecycle*
+    ``multiprocessing.shared_memory`` segments are named kernel objects
+    that outlive a crashed process.  Inside ``repro.parallel`` every
+    raw ``SharedMemory`` touch must go through :mod:`repro.parallel.shm`
+    and every created block must have a guaranteed close+unlink path.
+
 Every rule reports :class:`Finding` objects; suppression happens in the
 engine via ``# repro-lint: disable=<id> -- <why>`` pragmas.
 """
@@ -39,7 +46,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 __all__ = ["Finding", "Rule", "RULES", "FileContext", "HOT_PATH_SCOPE",
-           "THREAD_SCOPE", "TIMER_SCOPE"]
+           "THREAD_SCOPE", "TIMER_SCOPE", "SHM_SCOPE"]
 
 
 @dataclass(frozen=True)
@@ -86,12 +93,17 @@ HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py",
                   "repro/md/engine.py")
 #: where the guarded-by convention is enforced
 THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py",
-                "repro/md/engine.py")
+                "repro/parallel/process_engine.py", "repro/md/engine.py")
 #: where raw perf_counter() loop accounting is banned outside the
 #: sanctioned owners (PhaseTimers and the shared MDLoop): the drivers
 #: and the engine layer, which must route timing through PhaseTimers
 TIMER_SCOPE = ("repro/md/simulation.py", "repro/md/engine.py",
-               "repro/parallel/distributed.py")
+               "repro/parallel/distributed.py",
+               "repro/parallel/process_engine.py")
+#: where the shared-memory helper/lifecycle rules bite
+SHM_SCOPE = ("repro/parallel/",)
+#: the one module allowed to touch multiprocessing.shared_memory raw
+_SHM_HELPER_PATH = "parallel/shm.py"
 #: classes allowed to call time.perf_counter() directly inside TIMER_SCOPE
 _TIMER_OWNERS = ("PhaseTimers", "MDLoop")
 
@@ -887,6 +899,96 @@ def _check_r4_timer(ctx: FileContext) -> list[Finding]:
 
 
 # ======================================================================
+# R5 - shared-memory lifecycle
+# ======================================================================
+#: a cleanup call counts if its name suggests close/unlink/finalize
+_CLOSE_HINTS = ("close", "unlink", "finaliz")
+
+
+def _closes_somehow(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            tail = (_tail(_call_name(sub)) or "").lower()
+            if any(hint in tail for hint in _CLOSE_HINTS):
+                return True
+    return False
+
+
+def _check_r5(ctx: FileContext) -> list[Finding]:
+    """Shared-memory discipline inside ``repro.parallel``.
+
+    *helper*: raw ``SharedMemory(...)`` construction is allowed only in
+    :mod:`repro.parallel.shm` - everything else must go through
+    ``create_shm``/``attach_shm``/``SharedBlock`` so the resource-tracker
+    workaround and idempotent teardown live in one place.
+
+    *lifecycle*: every block creation (``create_shm`` /
+    ``SharedBlock.create``) must have a guaranteed cleanup path.
+    Heuristic, by construction site:
+
+    * assigned to ``self.<attr>`` (or a container on self): the class
+      must have a ``close``/``_cleanup``/``__exit__`` method that calls
+      something close/unlink/finalize-ish;
+    * assigned to a local: the enclosing function needs a
+      ``try/finally`` whose finalbody closes, or a ``with`` block.
+
+    A leak-prone pattern this rule exists for: creating a segment and
+    unlinking it only on the happy path, so an exception mid-step
+    strands the named block in /dev/shm.
+    """
+    findings: list[Finding] = []
+    if ctx.path.endswith(_SHM_HELPER_PATH):
+        return findings
+
+    def flag(rule: str, node: ast.AST, msg: str) -> None:
+        findings.append(Finding(rule, ctx.path, node.lineno,
+                                getattr(node, "col_offset", 0), msg))
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) \
+                and _tail(_call_name(node)) == "SharedMemory":
+            flag("R5-shm-helper", node,
+                 "raw SharedMemory construction outside repro.parallel.shm; "
+                 "use create_shm/attach_shm/SharedBlock so the resource-"
+                 "tracker workaround and idempotent teardown apply")
+
+    funcs = _functions(ctx.tree)
+    for func, cls in funcs:
+        has_finally_close = any(
+            isinstance(st, ast.Try) and st.finalbody
+            and any(_closes_somehow(fin) for fin in st.finalbody)
+            for st in ast.walk(func))
+        has_with = any(isinstance(st, ast.With) for st in ast.walk(func))
+        cls_closes = cls is not None and any(
+            c is cls and f.name in ("close", "_cleanup", "__exit__")
+            and _closes_somehow(f) for f, c in funcs)
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.Assign) \
+                    or not isinstance(stmt.value, ast.Call):
+                continue
+            name = _call_name(stmt.value) or ""
+            tail = _tail(name)
+            if not (tail == "create_shm"
+                    or (tail == "create" and "SharedBlock" in name)):
+                continue
+            base = stmt.targets[0]
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            on_self = (isinstance(base, ast.Attribute)
+                       and isinstance(base.value, ast.Name)
+                       and base.value.id == "self")
+            ok = (on_self and cls_closes) \
+                or has_finally_close or (not on_self and has_with)
+            if not ok:
+                flag("R5-shm-lifecycle", stmt,
+                     "shared-memory block is created without a guaranteed "
+                     "close+unlink path (no try/finally, no with, and no "
+                     "owning close()/_cleanup() method); an exception here "
+                     "strands the named segment in /dev/shm")
+    return findings
+
+
+# ======================================================================
 # registry
 # ======================================================================
 RULES: dict[str, Rule] = {r.id: r for r in [
@@ -923,4 +1025,10 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     Rule("R4-raw-timer",
          "raw perf_counter() loop accounting outside PhaseTimers/MDLoop",
          TIMER_SCOPE, _check_r4_timer),
+    Rule("R5-shm-helper",
+         "raw SharedMemory construction outside the shm helper module",
+         SHM_SCOPE, _check_r5),
+    Rule("R5-shm-lifecycle",
+         "shared-memory block created without a guaranteed cleanup path",
+         SHM_SCOPE, _check_r5),
 ]}

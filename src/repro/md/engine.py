@@ -94,6 +94,7 @@ class RunSummary:
     energy: float
     nranks: int | None = None
     nworkers: int | None = None
+    nprocs: int | None = None
     grid: tuple | None = None
     halo_mode: str | None = None
     skin: float | None = None
@@ -119,6 +120,7 @@ class RunSummary:
         ordered = [
             ("steps", self.steps), ("natoms", self.natoms),
             ("nranks", self.nranks), ("nworkers", self.nworkers),
+            ("nprocs", self.nprocs),
             ("grid", self.grid), ("halo_mode", self.halo_mode),
             ("skin", self.skin), ("wall_s", self.wall_s),
             ("atom_steps_per_s", self.atom_steps_per_s),
@@ -775,25 +777,50 @@ class MDLoop:
 # factory
 # ======================================================================
 def build_engine(system: ParticleSystem, potential: Potential, *,
-                 nranks: int = 1, nworkers: int = 1, halo_mode: str = "1x",
+                 backend: str | None = None, nranks: int = 1, nworkers: int = 1,
+                 nprocs: int | None = None, halo_mode: str = "1x",
                  skin: float = 0.3, shard_workers: int = 1,
                  shard_backend: str = "thread", check_finite: bool = False,
                  race_check: bool = False) -> ForceEngine:
     """Select a force backend from the requested execution layout.
 
-    ``nranks <= 1`` yields a :class:`SerialEngine` (where ``nworkers``
-    shards the SNAP force pass); ``nranks > 1`` yields a
-    :class:`DistributedEngine` (where ``nworkers`` evaluates ranks
-    concurrently and ``shard_workers`` shards within a rank).  Every
+    ``backend`` picks the engine family explicitly: ``"serial"``,
+    ``"distributed"`` (thread ranks + halo exchange) or ``"process"``
+    (persistent shared-memory worker processes, sized by ``nprocs``).
+    ``backend=None`` keeps the historical inference: ``nranks <= 1``
+    yields a :class:`SerialEngine` (where ``nworkers`` shards the SNAP
+    force pass), ``nranks > 1`` a :class:`DistributedEngine` (where
+    ``nworkers`` evaluates ranks concurrently and ``shard_workers``
+    shards within a rank), and ``nprocs`` set yields a
+    :class:`~repro.parallel.process_engine.ProcessEngine`.  Every
     returned engine drives the same :class:`MDLoop`.
     """
-    if nranks <= 1:
+    if backend is None:
+        if nprocs is not None and nprocs > 1:
+            backend = "process"
+        elif nranks > 1:
+            backend = "distributed"
+        else:
+            backend = "serial"
+    if backend == "serial":
         return SerialEngine(system, potential, skin=skin,
                             nworkers=max(nworkers, shard_workers),
                             check_finite=check_finite)
-    return DistributedEngine(system, potential, nranks, nworkers=nworkers,
-                             halo_mode=halo_mode, skin=skin,
-                             shard_workers=shard_workers,
-                             shard_backend=shard_backend,
-                             check_finite=check_finite,
-                             race_check=race_check)
+    if backend == "distributed":
+        return DistributedEngine(system, potential, nranks,
+                                 nworkers=nworkers,
+                                 halo_mode=halo_mode, skin=skin,
+                                 shard_workers=shard_workers,
+                                 shard_backend=shard_backend,
+                                 check_finite=check_finite,
+                                 race_check=race_check)
+    if backend == "process":
+        # imported lazily: repro.md must stay importable without pulling
+        # the multiprocessing machinery (and repro.parallel imports us)
+        from ..parallel.process_engine import ProcessEngine
+
+        return ProcessEngine(system, potential,
+                             nprocs=nprocs if nprocs is not None else 2,
+                             skin=skin, check_finite=check_finite)
+    raise ValueError(f"unknown backend {backend!r}; expected 'serial', "
+                     "'distributed' or 'process'")

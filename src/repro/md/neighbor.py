@@ -67,8 +67,17 @@ def _brute_force_pairs(positions: np.ndarray, box: Box, cutoff: float):
     return i_idx, j_idx, rij
 
 
-def _cell_pairs(positions: np.ndarray, box: Box, cutoff: float):
-    """Linked-cell pair search; requires >= 3 cells per periodic axis."""
+def _cell_pairs(positions: np.ndarray, box: Box, cutoff: float,
+                rows: tuple[int, int] | None = None):
+    """Linked-cell pair search; requires >= 3 cells per periodic axis.
+
+    With ``rows=(lo, hi)`` only pairs whose *central* atom falls in that
+    index window are emitted.  The cell structure is still built over
+    all atoms and the per-offset emission order is unchanged, so the
+    restricted lists of a disjoint row partition concatenate to exactly
+    the full list (same pairs, same order) - the invariant the
+    multiprocess row-slice backend relies on for bitwise parity.
+    """
     n = positions.shape[0]
     ncell = np.maximum(np.floor(box.lengths / cutoff).astype(int), 1)
     pos = box.wrap(positions)
@@ -81,6 +90,10 @@ def _cell_pairs(positions: np.ndarray, box: Box, cutoff: float):
     cell_ptr = np.searchsorted(cid_sorted, np.arange(ncells + 1))
     counts = np.diff(cell_ptr)
 
+    rowmask = None
+    if rows is not None:
+        rowmask = np.zeros(n, dtype=bool)
+        rowmask[rows[0]:rows[1]] = True
     i_list, j_list, rij_list = [], [], []
     offsets = np.array([(ox, oy, oz)
                         for ox in (-1, 0, 1) for oy in (-1, 0, 1) for oz in (-1, 0, 1)])
@@ -88,7 +101,7 @@ def _cell_pairs(positions: np.ndarray, box: Box, cutoff: float):
     for off in offsets:
         nc = coord + off  # neighbor cell raw coords per atom
         wrapcnt = np.floor_divide(nc, ncell)  # image count per axis
-        valid = np.ones(n, dtype=bool)
+        valid = np.ones(n, dtype=bool) if rowmask is None else rowmask.copy()
         for k in range(3):
             if not pmask[k]:
                 valid &= (nc[:, k] >= 0) & (nc[:, k] < ncell[k])
@@ -117,15 +130,27 @@ def _cell_pairs(positions: np.ndarray, box: Box, cutoff: float):
     return i_idx, j_idx, rij
 
 
-def build_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborBatch:
-    """Full neighbor pair list within ``cutoff``, sorted by central atom."""
+def build_pairs(positions: np.ndarray, box: Box, cutoff: float,
+                rows: tuple[int, int] | None = None) -> NeighborBatch:
+    """Full neighbor pair list within ``cutoff``, sorted by central atom.
+
+    ``rows=(lo, hi)`` restricts the list to pairs whose central atom
+    index lies in ``[lo, hi)``; the restricted lists of a disjoint row
+    partition concatenate (in partition order) to exactly the
+    unrestricted list.  The backend selection (cell list vs brute-force
+    sweep) depends only on the box and the total atom count, never on
+    the window, so every slice of one system takes the same code path.
+    """
     positions = np.asarray(positions, dtype=float)
     ncell = np.floor(box.lengths / cutoff).astype(int)
     usable = all((not box.periodic[k]) or ncell[k] >= 3 for k in range(3))
     if usable and positions.shape[0] > 32:
-        i_idx, j_idx, rij = _cell_pairs(positions, box, cutoff)
+        i_idx, j_idx, rij = _cell_pairs(positions, box, cutoff, rows=rows)
     else:
         i_idx, j_idx, rij = _brute_force_pairs(positions, box, cutoff)
+        if rows is not None:
+            inwin = (i_idx >= rows[0]) & (i_idx < rows[1])
+            i_idx, j_idx, rij = i_idx[inwin], j_idx[inwin], rij[inwin]
     order = np.argsort(i_idx, kind="stable")
     i_idx, j_idx, rij = i_idx[order], j_idx[order], rij[order]
     r = np.linalg.norm(rij, axis=1)

@@ -1,11 +1,13 @@
 """Simulated-MPI domain decomposition substrate."""
 
 from .comm import CommStats, VirtualComm, reverse_scatter_add
-from .decomposition import DomainGrid, best_grid
+from .decomposition import DomainGrid, best_grid, row_partition
 from .distributed import CommLedger, DistributedSimulation
 from .halo import (BYTES_PER_GHOST, BYTES_PER_POSITION, Halo, build_halos,
                    halo_width_mask)
+from .process_engine import ProcessEngine
 from .shards import ShardedSNAP, shard_bounds, sharded_potential
+from .shm import SharedBlock, attach_shm, close_shm, create_shm
 
 __all__ = [
     "VirtualComm",
@@ -13,6 +15,7 @@ __all__ = [
     "reverse_scatter_add",
     "best_grid",
     "DomainGrid",
+    "row_partition",
     "Halo",
     "build_halos",
     "halo_width_mask",
@@ -20,7 +23,12 @@ __all__ = [
     "BYTES_PER_POSITION",
     "DistributedSimulation",
     "CommLedger",
+    "ProcessEngine",
     "ShardedSNAP",
     "shard_bounds",
     "sharded_potential",
+    "SharedBlock",
+    "attach_shm",
+    "close_shm",
+    "create_shm",
 ]

@@ -15,7 +15,26 @@ import numpy as np
 
 from ..md.box import Box
 
-__all__ = ["best_grid", "DomainGrid"]
+__all__ = ["best_grid", "DomainGrid", "row_partition"]
+
+
+def row_partition(natoms: int, nprocs: int) -> np.ndarray:
+    """Balanced contiguous row bounds: ``nprocs + 1`` offsets over atoms.
+
+    Rank ``r`` owns atom rows ``[bounds[r], bounds[r+1])``; sizes differ
+    by at most one atom.  A 1D index-space partition (not spatial): the
+    multiprocess backend slices the *i-sorted global pair list* by
+    central-atom row, which is what keeps its per-rank work bitwise
+    concatenable back into the serial evaluation order.
+    """
+    if natoms < 0:
+        raise ValueError("natoms must be non-negative")
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    per, extra = divmod(natoms, nprocs)
+    sizes = np.full(nprocs, per, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([[0], np.cumsum(sizes)])
 
 
 def _factor_triples(n: int):

@@ -1,0 +1,687 @@
+"""Persistent-worker multiprocess force backend over shared memory.
+
+:class:`ProcessEngine` is the third :class:`~repro.md.engine.ForceEngine`
+implementation: ranks are long-lived **worker processes** (one fork per
+run, not per step) that communicate exclusively through named
+``multiprocessing.shared_memory`` blocks - the persistent-worker /
+fixed-communication-schedule discipline of production MD codes, applied
+to CPython where the GIL makes the thread-rank backend lose to serial.
+
+Decomposition - row slices, not subdomains
+------------------------------------------
+Rank ``r`` owns the contiguous *atom-index window* ``[alo, ahi)`` of a
+balanced :func:`~repro.parallel.decomposition.row_partition`.  Because
+the global neighbor list is CSR-sorted by central atom, the per-rank
+row-restricted builds (``build_pairs(..., rows=...)``) concatenate to
+exactly the serial list, and every pair is computed by the rank that
+owns its central atom.  That turns the halo exchange into:
+
+forward
+    each worker reads any row of the shared position block directly
+    (owned-row slice reads of the other ranks' slices);
+reverse
+    per-pair values (``dE/dr`` for SNAP, force vectors for pair
+    potentials) are published to a shared reference-pair-space buffer;
+    each owner gathers the entries whose *neighbor* atom it owns - in
+    ascending global pair order, i.e. **fixed rank order** - and applies
+    exactly the serial accumulation operations.
+
+Bitwise determinism contract
+----------------------------
+Forces are bitwise identical to :class:`~repro.md.engine.SerialEngine`
+at every ``nprocs``.  Three properties carry the proof:
+
+* row-restricted neighbor builds concatenate to the serial pair list
+  (same pairs, same order);
+* the SNAP density accumulation runs on the serial chunk grid via
+  ``compute_utot(chunk_origin=...)``, stages 2-3 are per-row/per-pair;
+* owner assembly replays the serial reduction *by the same operation on
+  the same operand layout*: ``np.add.reduceat`` segment sums over the
+  contiguous j-sorted slab (SNAP) and strictly-sequential ``np.add.at``
+  chains (pair potentials).  Zero-padding or re-chunking a segment would
+  change NumPy's pairwise summation tree, so the gather compresses
+  dropped skin pairs *before* reducing, exactly like the serial filter.
+
+Per-atom energies and the virial keep the usual fixed-order 1e-10
+contract (the per-atom energy matvec and the virial GEMM are not
+row-partition-stable); quadratic SNAP is rejected because its per-atom
+effective coefficients go through a row-count-sensitive GEMM.
+
+The step protocol is IPC-free in steady state: two semaphores per worker
+(start/done) plus two worker-internal barriers per step (four on rebuild
+steps), no pickling, no pipes.  Pair-capacity growth re-allocates the
+pair-space blocks under a generation counter.  The parent owns every
+block and unlinks them all on ``close()``; a ``weakref.finalize``
+backstop covers abandoned engines, and a worker death is detected by a
+semaphore-poll/liveness loop (no hang) and reported with the rank.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import secrets
+import time
+import traceback
+import weakref
+
+import numpy as np
+
+from ..core.snap import EnergyForces, NeighborBatch, _scatter_sum_sorted
+from ..md.box import Box
+from ..md.engine import CommLedger, ForceEngine
+from ..md.neighbor import build_pairs, filter_pairs
+from ..md.timers import PhaseTimers
+from ..potentials.snap_potential import SNAPPotential
+from .decomposition import row_partition
+from .halo import BYTES_PER_GHOST, BYTES_PER_POSITION
+from .shm import SharedBlock
+
+__all__ = ["ProcessEngine"]
+
+# control-word layout (int64 slots in the "ctl" block)
+_CMD = 0          #: 0 = step, 1 = stop
+_SEQ = 1          #: step sequence number (sanity/debug)
+_GEN = 2          #: pair-block generation (bumped on capacity growth)
+_CAP = 3          #: current pair-space capacity
+_BOX_EPOCH = 4    #: bumped by the parent whenever the box changes
+_NEED = 5         #: requested pair capacity (grow protocol)
+_NBUILDS = 6      #: neighbor topology builds (rank 0 increments)
+_ERR = 7          #: rank + 1 of a worker that hit an exception
+_RANK0 = 8        #: start of the per-rank counter arrays
+# per-rank counter arrays (each ``nprocs`` long, starting at _RANK0):
+_F_REF = 0        #: reference (skinned) pair count
+_F_KEPT = 1       #: kept (filtered) pair count
+_F_GHOST = 2      #: distinct out-of-window neighbor atoms
+_F_REVERSE = 3    #: kept cross-rank reverse-pass entries
+_NFIELDS = 4
+
+_CMD_STEP = 0
+_CMD_STOP = 1
+
+# per-rank scalar slots in the "scal" block (float64)
+_S_VIRIAL = slice(0, 9)
+_S_NEIGH = 9
+_S_FORCE = 10
+_S_COMM_FWD = 11
+_S_COMM_REV = 12
+_S_UI = 13
+_S_YI = 14
+_S_DUI = 15
+_NSCAL = 16
+
+#: bytes of one reverse-pass entry: a 3-vector of float64 partial forces
+#: (the owning rank already knows the target row, no index payload)
+_BYTES_PER_REVERSE = 3 * 8
+
+
+def _pair_blocks(prefix: str, gen: int) -> dict[str, str]:
+    """Names of the generation-``gen`` pair-space blocks."""
+    return {"val": f"{prefix}-val-g{gen}",
+            "kept": f"{prefix}-kept-g{gen}",
+            "jref": f"{prefix}-jref-g{gen}"}
+
+
+def _cleanup(procs: list, blocks: dict, start_sems: list) -> None:
+    """Finalizer backstop: stop workers and unlink every shared block.
+
+    Runs from ``ProcessEngine.close()`` and, for abandoned engines, from
+    the ``weakref.finalize`` hook at garbage collection; every action is
+    idempotent and tolerates workers/blocks that are already gone.
+    """
+    ctl = blocks.get("ctl")
+    if ctl is not None and ctl.array is not None:
+        ctl.array[_CMD] = _CMD_STOP
+    for sem in start_sems:
+        sem.release()
+    for proc in procs:
+        proc.join(timeout=0.5)
+    for proc in procs:
+        if proc.is_alive():
+            # a rank stuck in a step barrier (e.g. after a peer died)
+            # never sees the stop command; don't wait on it
+            proc.terminate()
+            proc.join(timeout=2.0)
+    for block in blocks.values():
+        block.close()
+
+
+# ======================================================================
+# worker side
+# ======================================================================
+def _worker_main(cfg: dict) -> None:
+    """Process entry point: attach to the shared blocks and serve steps."""
+    _WorkerState(cfg).run()
+
+
+class _WorkerState:
+    """Per-process state of one rank (worker-process-private).
+
+    Owns the rank's attachments, its persistent reference pair list and
+    the rebuild-time neighbor-incidence index used for the reverse pass.
+    Nothing here is shared between threads - each worker is a fresh
+    process - so no locking is needed; cross-process ordering comes from
+    the start/done semaphores and the step barriers.
+    """
+
+    def __init__(self, cfg: dict) -> None:
+        self.rank: int = cfg["rank"]
+        self.nprocs: int = cfg["nprocs"]
+        self.alo: int = cfg["alo"]
+        self.ahi: int = cfg["ahi"]
+        self.natoms: int = cfg["natoms"]
+        self.periodic: tuple = cfg["periodic"]
+        self.potential = cfg["potential"]
+        self.cutoff: float = cfg["cutoff"]
+        self.skin: float = cfg["skin"]
+        self.check_finite: bool = cfg["check_finite"]
+        self.prefix: str = cfg["prefix"]
+        self.start = cfg["start"]
+        self.done = cfg["done"]
+        self.barrier = cfg["barrier"]
+        self.is_snap = isinstance(self.potential, SNAPPotential)
+
+        n = self.natoms
+        self.pos = SharedBlock.attach(f"{self.prefix}-pos", (n, 3), np.float64)
+        self.frc = SharedBlock.attach(f"{self.prefix}-frc", (n, 3), np.float64)
+        self.pa = SharedBlock.attach(f"{self.prefix}-pa", (n,), np.float64)
+        self.boxl = SharedBlock.attach(f"{self.prefix}-boxl", (3,), np.float64)
+        self.ctl = SharedBlock.attach(
+            f"{self.prefix}-ctl", (_RANK0 + _NFIELDS * self.nprocs,), np.int64)
+        self.scal = SharedBlock.attach(
+            f"{self.prefix}-scal", (self.nprocs, _NSCAL), np.float64)
+        self.gen = -1
+        self.cap = 0
+        self.val: SharedBlock | None = None
+        self.kept: SharedBlock | None = None
+        self.jref: SharedBlock | None = None
+        self._attach_pair_blocks()
+
+        self.box: Box | None = None
+        self.box_epoch = 0
+        self.ref: NeighborBatch | None = None
+        self.ref_pos: np.ndarray | None = None
+        self.ref_off = 0
+        self.inc = np.zeros(0, dtype=np.intp)
+        self.incj = np.zeros(0, dtype=np.intp)
+        self.cross = np.zeros(0, dtype=bool)
+        self._stage_t = (0.0, 0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    def _slot(self, field: int) -> int:
+        return _RANK0 + field * self.nprocs + self.rank
+
+    def _field(self, field: int) -> np.ndarray:
+        lo = _RANK0 + field * self.nprocs
+        return self.ctl.array[lo:lo + self.nprocs]
+
+    def _attach_pair_blocks(self) -> None:
+        for block in (self.val, self.kept, self.jref):
+            if block is not None:
+                block.close()
+        ctl = self.ctl.array
+        self.gen = int(ctl[_GEN])
+        self.cap = int(ctl[_CAP])
+        names = _pair_blocks(self.prefix, self.gen)
+        self.val = SharedBlock.attach(names["val"], (self.cap, 3), np.float64)
+        self.kept = SharedBlock.attach(names["kept"], (self.cap,), np.bool_)
+        self.jref = SharedBlock.attach(names["jref"], (self.cap,), np.int64)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        try:
+            while True:
+                self.start.acquire()
+                if self.ctl.array[_CMD] == _CMD_STOP:
+                    break
+                try:
+                    if int(self.ctl.array[_GEN]) != self.gen:
+                        self._attach_pair_blocks()
+                    self._step()
+                except Exception:
+                    # flag the rank for the parent, then let the process
+                    # die loudly: the traceback goes to stderr and the
+                    # parent raises a named error instead of hanging
+                    self.ctl.array[_ERR] = self.rank + 1
+                    traceback.print_exc()
+                    self.done.release()
+                    raise
+                self.done.release()
+        finally:
+            for block in (self.pos, self.frc, self.pa, self.boxl, self.scal,
+                          self.val, self.kept, self.jref, self.ctl):
+                if block is not None:
+                    block.close()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        ctl = self.ctl.array
+        pos = self.pos.array
+        t0 = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        t_fwd = 0.0
+        if int(ctl[_BOX_EPOCH]) != self.box_epoch:
+            # the barostat rescaled the cell: rebuild against the new
+            # box, exactly like the serial NeighborList rebind
+            self.box_epoch = int(ctl[_BOX_EPOCH])
+            self.box = Box(lengths=self.boxl.array.copy(),
+                           periodic=self.periodic)
+            self.ref = None
+        rebuild = self.ref is None
+        disp = None
+        if not rebuild:
+            disp = self.box.minimum_image(pos - self.ref_pos)
+            rebuild = bool(np.max(np.sum(disp * disp, axis=1))
+                           > (0.5 * self.skin) ** 2)
+        if rebuild:
+            ref = build_pairs(pos, self.box, self.cutoff + self.skin,
+                              rows=(self.alo, self.ahi))
+            ctl[self._slot(_F_REF)] = ref.npairs
+            tb = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+            self.barrier.wait()
+            t_fwd += time.perf_counter() - tb  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+            counts = self._field(_F_REF).copy()
+            total = int(counts.sum())
+            if total > self.cap:
+                # deterministic on every rank (same counts): all ranks
+                # return together and the parent re-runs the step with
+                # regrown pair blocks
+                ctl[_NEED] = total
+                return
+            self.ref = ref
+            self.ref_off = int(counts[:self.rank].sum())
+            self.ref_pos = pos.copy()
+            self.jref.array[self.ref_off:self.ref_off + ref.npairs] = ref.j_idx
+            outside = (ref.j_idx < self.alo) | (ref.j_idx >= self.ahi)
+            ctl[self._slot(_F_GHOST)] = int(np.unique(ref.j_idx[outside]).size)
+            if self.rank == 0:
+                ctl[_NBUILDS] += 1
+            tb = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+            self.barrier.wait()
+            t_fwd += time.perf_counter() - tb  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+            # neighbor incidence of the owned window, grouped by owned
+            # atom, ascending global pair index within each atom: the
+            # gather order that equals the serial j-sorted slab
+            jall = self.jref.array[:total]
+            inc = np.nonzero((jall >= self.alo) & (jall < self.ahi))[0]
+            order = np.argsort(jall[inc], kind="stable")
+            self.inc = inc[order]
+            self.incj = jall[self.inc]
+            self.cross = ((self.inc < self.ref_off)
+                          | (self.inc >= self.ref_off + ref.npairs))
+            rij, r = ref.rij, ref.r
+        else:
+            ref = self.ref
+            rij = ref.rij + disp[ref.j_idx] - disp[ref.i_idx]
+            r = np.linalg.norm(rij, axis=1)
+        keep = r < self.cutoff
+        nbr = filter_pairs(ref, rij, r, keep)
+        ctl[self._slot(_F_KEPT)] = nbr.npairs
+        self.kept.array[self.ref_off:self.ref_off + ref.npairs] = keep
+        t1 = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        self.barrier.wait()  # kept counts + masks visible on every rank
+        t2 = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        t_neigh = (t1 - t0) - t_fwd
+        t_fwd += t2 - t1
+        filtered_off = int(self._field(_F_KEPT)[:self.rank].sum())
+
+        m = self.ahi - self.alo
+        if self.is_snap:
+            vals, pa_own = self._snap_stage(nbr, m, filtered_off)
+        else:
+            vals, pa_own = self._pair_stage(nbr, m)
+        t3 = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        # publish per-pair values at their kept reference slots (dropped
+        # slots are never gathered, so they can stay stale)
+        self.val.array[self.ref_off:self.ref_off + ref.npairs][keep] = vals
+        self.barrier.wait()  # all per-pair values visible
+        # reverse pass: gather this window's neighbor incidence (kept
+        # entries only) and replay the serial owner accumulation
+        kmask = self.kept.array[self.inc]
+        inck = self.inc[kmask]
+        jk = self.incj[kmask]
+        vals_g = self.val.array[inck]
+        f_own = np.zeros((m, 3))
+        if self.is_snap:
+            i_loc = nbr.i_idx - self.alo
+            if i_loc.size:
+                _scatter_sum_sorted(f_own, i_loc, vals)
+            if jk.size:
+                _scatter_sum_sorted(f_own, jk - self.alo, -vals_g)
+            virial = -(nbr.rij.T @ vals)
+        else:
+            np.add.at(f_own, jk - self.alo, vals_g)
+            np.add.at(f_own, nbr.i_idx - self.alo, -vals)
+            virial = nbr.rij.T @ vals
+        if self.check_finite:
+            from ..lint.sanitizers import check_finite
+
+            check_finite("rank_force", where=f"proc{self.rank}",
+                         peratom=pa_own, forces=f_own)
+        ctl[self._slot(_F_REVERSE)] = int((kmask & self.cross).sum())
+        self.frc.array[self.alo:self.ahi] = f_own
+        self.pa.array[self.alo:self.ahi] = pa_own
+        t4 = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        sc = self.scal.array
+        sc[self.rank, _S_VIRIAL] = virial.ravel()
+        sc[self.rank, _S_NEIGH] = t_neigh
+        sc[self.rank, _S_FORCE] = t3 - t2
+        sc[self.rank, _S_COMM_FWD] = t_fwd
+        sc[self.rank, _S_COMM_REV] = t4 - t3
+        sc[self.rank, _S_UI], sc[self.rank, _S_YI], sc[self.rank, _S_DUI] = \
+            self._stage_t
+
+    # ------------------------------------------------------------------
+    def _snap_stage(self, nbr: NeighborBatch, m: int,
+                    filtered_off: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stages 1-3 of SNAP on the local row slice.
+
+        ``filtered_off`` is this rank's offset into the filtered global
+        pair list; feeding it to ``compute_utot`` as the chunk origin
+        aligns the local chunk grid with the serial one, making the
+        density accumulation (and everything downstream of it) bitwise
+        identical to the serial evaluation of the full list.
+        """
+        pot = self.potential
+        pnbr = pot._with_pair_params(nbr)  # per-type params use global ids
+        lnbr = NeighborBatch(i_idx=pnbr.i_idx - self.alo, rij=pnbr.rij,
+                             r=pnbr.r, j_idx=pnbr.j_idx,
+                             pair_weight=pnbr.pair_weight,
+                             pair_rcut=pnbr.pair_rcut)
+        snap = pot.snap
+        ta = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        utot = snap.compute_utot(m, lnbr, chunk_origin=filtered_off)
+        tb = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        pa_own, y = snap._peratom_and_y(utot)
+        tc = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        dedr = snap._compute_dedr(lnbr, y)
+        td = time.perf_counter()  # repro-lint: disable=R4-raw-timer -- per-rank stopwatch in a worker process, folded into PhaseTimers by the parent
+        self._stage_t = (tb - ta, tc - tb, td - tc)
+        return dedr, pa_own
+
+    def _pair_stage(self, nbr: NeighborBatch,
+                    m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair terms of a radial pair potential on the local slice.
+
+        Mirrors :func:`repro.potentials.base.pair_result` exactly: the
+        force vector formula is the same elementwise expression and the
+        per-atom energy uses the same strictly-sequential ``np.add.at``
+        chain, so owned rows are bitwise identical to the serial pass.
+        """
+        phi, dphidr = self.potential.pair_terms(nbr)
+        fvec = (-0.5 * dphidr / nbr.r)[:, None] * nbr.rij
+        pa_own = np.zeros(m)
+        np.add.at(pa_own, nbr.i_idx - self.alo, 0.5 * phi)
+        self._stage_t = (0.0, 0.0, 0.0)
+        return fvec, pa_own
+
+
+# ======================================================================
+# parent side
+# ======================================================================
+class ProcessEngine(ForceEngine):
+    """Row-slice multiprocess backend with persistent shared-memory ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of worker processes (= row-slice ranks).
+    skin:
+        Verlet skin, identical semantics to the serial backend.
+    pair_capacity:
+        Initial pair-space capacity; ``None`` estimates it from the
+        density with headroom.  Undersized capacities are grown on the
+        fly (the generation protocol), so this is a tuning/testing knob,
+        not a correctness one.
+    start_method:
+        ``multiprocessing`` start method; ``None`` prefers ``fork``
+        (cheap, copy-on-write potential tables) with a ``spawn``
+        fallback.
+
+    Supported potentials: :class:`~repro.potentials.SNAPPotential`
+    (linear, any species count) and radial pair potentials exposing
+    ``pair_terms()``.  Quadratic SNAP is rejected - its per-atom
+    effective coefficients pass through a row-count-sensitive GEMM that
+    breaks the bitwise force contract.
+    """
+
+    def __init__(self, system, potential, nprocs: int, skin: float = 0.3,
+                 check_finite: bool = False,
+                 pair_capacity: int | None = None,
+                 start_method: str | None = None) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be positive")
+        if skin < 0:
+            raise ValueError("skin must be non-negative")
+        if isinstance(potential, SNAPPotential):
+            if potential.snap.quadratic is not None:
+                raise ValueError(
+                    "backend='process' does not support quadratic SNAP: the "
+                    "per-atom effective coefficients are not row-partition "
+                    "stable, which would break the bitwise force contract")
+        elif not callable(getattr(potential, "pair_terms", None)):
+            raise ValueError(
+                "backend='process' needs a SNAPPotential or a pair potential "
+                f"exposing pair_terms(); got {type(potential).__name__}")
+        self.system = system
+        self.potential = potential
+        self.nprocs = int(nprocs)
+        self.skin = float(skin)
+        self.check_finite = bool(check_finite)
+        self.timers = PhaseTimers()
+        self.ledger = CommLedger()
+        self.bounds = row_partition(system.natoms, self.nprocs)
+        sizes = np.diff(self.bounds)
+        self.ledger.max_rank_atoms = int(sizes.max())
+        self.ledger.min_rank_atoms = int(sizes.min())
+
+        n = system.natoms
+        self._prefix = f"repro-pe-{os.getpid()}-{secrets.token_hex(3)}"
+        cap = pair_capacity if pair_capacity is not None \
+            else self._estimate_capacity()
+        self._blocks: dict[str, SharedBlock] = {}
+        self._procs: list = []
+        self._start: list = []
+        self._done: list = []
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._procs, self._blocks, self._start)
+        self._blocks["pos"] = SharedBlock.create(
+            f"{self._prefix}-pos", (n, 3), np.float64)
+        self._blocks["frc"] = SharedBlock.create(
+            f"{self._prefix}-frc", (n, 3), np.float64)
+        self._blocks["pa"] = SharedBlock.create(
+            f"{self._prefix}-pa", (n,), np.float64)
+        self._blocks["boxl"] = SharedBlock.create(
+            f"{self._prefix}-boxl", (3,), np.float64)
+        self._blocks["ctl"] = SharedBlock.create(
+            f"{self._prefix}-ctl", (_RANK0 + _NFIELDS * self.nprocs,),
+            np.int64)
+        self._blocks["scal"] = SharedBlock.create(
+            f"{self._prefix}-scal", (self.nprocs, _NSCAL), np.float64)
+        self._create_pair_blocks(gen=0, cap=max(int(cap), 64))
+        ctl = self._ctl
+        self._box = system.box
+        self._box_lengths = np.array(system.box.lengths, dtype=float)
+        self._blocks["boxl"].array[:] = self._box_lengths
+        ctl[_BOX_EPOCH] = 1
+        self._nbuilds_seen = 0
+
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        barrier = ctx.Barrier(self.nprocs)
+        for rank in range(self.nprocs):
+            self._start.append(ctx.Semaphore(0))
+            self._done.append(ctx.Semaphore(0))
+        for rank in range(self.nprocs):
+            cfg = {
+                "rank": rank, "nprocs": self.nprocs,
+                "alo": int(self.bounds[rank]),
+                "ahi": int(self.bounds[rank + 1]),
+                "natoms": n, "periodic": tuple(system.box.periodic),
+                "potential": potential, "cutoff": float(potential.cutoff),
+                "skin": self.skin, "check_finite": self.check_finite,
+                "prefix": self._prefix, "start": self._start[rank],
+                "done": self._done[rank], "barrier": barrier,
+            }
+            proc = ctx.Process(target=_worker_main, args=(cfg,),
+                               name=f"repro-pe-{rank}", daemon=True)
+            proc.start()
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    @property
+    def _ctl(self) -> np.ndarray:
+        return self._blocks["ctl"].array
+
+    def _estimate_capacity(self) -> int:
+        """Reference pair count estimate with headroom (grow covers misses)."""
+        rc = self.potential.cutoff + self.skin
+        volume = float(np.prod(self._box_lengths)) \
+            if hasattr(self, "_box_lengths") else self.system.box.volume
+        density = self.system.natoms / max(volume, 1e-300)
+        per_atom = 4.0 / 3.0 * np.pi * rc ** 3 * density
+        return int(self.system.natoms * per_atom * 1.6) + 1024
+
+    def _create_pair_blocks(self, gen: int, cap: int) -> None:
+        names = _pair_blocks(self._prefix, gen)
+        self._blocks["val"] = SharedBlock.create(names["val"], (cap, 3),
+                                                 np.float64)
+        self._blocks["kept"] = SharedBlock.create(names["kept"], (cap,),
+                                                  np.bool_)
+        self._blocks["jref"] = SharedBlock.create(names["jref"], (cap,),
+                                                  np.int64)
+        self._ctl[_GEN] = gen
+        self._ctl[_CAP] = cap
+
+    def _grow(self) -> None:
+        """Service a capacity request: new pair blocks, next generation.
+
+        Workers still hold mappings of the old generation; unlinking
+        only removes the name, the mappings stay valid until each worker
+        re-attaches (same semantics as an unlinked open file).
+        """
+        ctl = self._ctl
+        need = int(ctl[_NEED])
+        gen = int(ctl[_GEN]) + 1
+        for key in ("val", "kept", "jref"):
+            self._blocks[key].close()
+        self._create_pair_blocks(gen=gen, cap=int(need * 1.3) + 64)
+        ctl[_NEED] = 0
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str) -> None:
+        self.close()
+        raise RuntimeError(message)
+
+    def _check_workers(self) -> None:
+        err = int(self._ctl[_ERR])
+        if err:
+            self._fail(f"process backend worker rank {err - 1} failed "
+                       "(traceback on stderr)")
+        for rank, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self._fail(f"process backend worker rank {rank} died "
+                           f"unexpectedly (exit code {proc.exitcode})")
+
+    def _wait_done(self) -> None:
+        """Collect one done token per worker, watching for dead ranks."""
+        for sem in self._done:
+            while not sem.acquire(timeout=0.25):
+                self._check_workers()
+        self._check_workers()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, positions: np.ndarray | None = None) -> EnergyForces:
+        if self._closed:
+            raise RuntimeError("ProcessEngine is closed")
+        system = self.system
+        if positions is None:
+            positions = system.positions
+        ctl = self._ctl
+        if (self._box is not system.box
+                or not np.array_equal(self._box_lengths, system.box.lengths)):
+            self._box = system.box
+            self._box_lengths = np.array(system.box.lengths, dtype=float)
+            self._blocks["boxl"].array[:] = self._box_lengths
+            ctl[_BOX_EPOCH] += 1
+        self._blocks["pos"].array[:] = positions
+        ctl[_SEQ] += 1
+        while True:
+            for sem in self._start:
+                sem.release()
+            self._wait_done()
+            if int(ctl[_NEED]) > int(ctl[_CAP]):
+                self._grow()
+                continue
+            break
+
+        # fold the per-rank stopwatches and the comm ledger
+        scal = self._blocks["scal"].array
+        rebuilt = int(ctl[_NBUILDS]) != self._nbuilds_seen
+        self._nbuilds_seen = int(ctl[_NBUILDS])
+        self.ledger.rebuilds = self._nbuilds_seen
+        lo = _RANK0 + _F_GHOST * self.nprocs
+        ghosts = int(self._ctl[lo:lo + self.nprocs].sum())
+        lo = _RANK0 + _F_REVERSE * self.nprocs
+        reverse_entries = int(self._ctl[lo:lo + self.nprocs].sum())
+        ledger = self.ledger
+        ledger.steps += 1
+        ledger.ghost_atoms += ghosts
+        ledger.bytes_1x += ghosts * BYTES_PER_GHOST
+        ledger.ghost_bytes += ghosts * (BYTES_PER_GHOST if rebuilt
+                                        else BYTES_PER_POSITION)
+        ledger.reverse_bytes += reverse_entries * _BYTES_PER_REVERSE
+        t_neigh = float(scal[:, _S_NEIGH].sum())
+        t_force = float(scal[:, _S_FORCE].sum())
+        t_fwd = float(scal[:, _S_COMM_FWD].sum())
+        t_rev = float(scal[:, _S_COMM_REV].sum())
+        self.timers.add("neigh", t_neigh)
+        self.timers.add("neigh.rebuild" if rebuilt else "neigh.refresh",
+                        t_neigh)
+        self.timers.add("force", t_force)
+        for key, slot in (("compute_ui", _S_UI), ("compute_yi", _S_YI),
+                          ("compute_dui_deidrj", _S_DUI)):
+            seconds = float(scal[:, slot].sum())
+            if seconds > 0.0:
+                self.timers.add(f"force.{key}", seconds)
+        self.timers.add("comm", t_fwd + t_rev)
+        self.timers.add("comm.halo_build" if rebuilt else "comm.forward",
+                        t_fwd)
+        self.timers.add("comm.reverse", t_rev)
+
+        peratom = self._blocks["pa"].array.copy()
+        forces = self._blocks["frc"].array.copy()
+        virial = np.zeros((3, 3))
+        for rank in range(self.nprocs):  # fixed rank order
+            virial += scal[rank, _S_VIRIAL].reshape(3, 3)
+        return EnergyForces(energy=float(peratom.sum()), peratom=peratom,
+                            forces=forces, virial=virial)
+
+    # ------------------------------------------------------------------
+    @property
+    def neighbor_builds(self) -> int:
+        return self.ledger.rebuilds
+
+    def summary_extras(self) -> dict:
+        return {
+            "nprocs": self.nprocs,
+            "skin": self.skin,
+            "rebuilds": self.ledger.rebuilds,
+            "ghost_bytes_per_step": self.ledger.ghost_bytes_per_step,
+            "reverse_bytes_per_step": self.ledger.reverse_bytes_per_step,
+        }
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+        super().close()
+
+    @property
+    def block_names(self) -> list[str]:
+        """Names of the live shared blocks (leak-test introspection)."""
+        return sorted(block.name for block in self._blocks.values())

@@ -89,21 +89,12 @@ def _attach(shm_buf, specs: dict, name: str):
 
 def _process_shard(args) -> tuple[int, np.ndarray]:
     """Worker entry: compute one dedr block from the shared-memory inputs."""
-    from multiprocessing import shared_memory
+    from .shm import attach_shm, close_shm
 
     shm_name, specs, lo, hi = args
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:
-        # the parent owns (and unlinks) the segment; stop this process's
-        # resource tracker from also claiming it at shutdown.  Narrow
-        # types only: ImportError/AttributeError cover platforms without
-        # the tracker (or its private API moving), KeyError an untracked
-        # segment - anything else should surface, not be swallowed.
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except (ImportError, AttributeError, KeyError):
-        pass
+    # attach_shm owns the resource-tracker workaround: the parent owns
+    # (and unlinks) the segment, this process must not also claim it
+    shm = attach_shm(shm_name)
     try:
         nbr = NeighborBatch(
             i_idx=_attach(shm.buf, specs, "i_idx"),
@@ -116,7 +107,7 @@ def _process_shard(args) -> tuple[int, np.ndarray]:
         y = _attach(shm.buf, specs, "y")
         return lo, _WORKER_SNAP._compute_dedr(nbr, y, start=lo, stop=hi)
     finally:
-        shm.close()
+        close_shm(shm)
 
 
 class ShardedSNAP:
@@ -220,7 +211,7 @@ class ShardedSNAP:
 
     def _dedr_processes(self, nbr: NeighborBatch, y: np.ndarray,
                         bounds: list[tuple[int, int]]) -> np.ndarray:
-        from multiprocessing import shared_memory
+        from .shm import close_shm, create_shm
 
         pool = self._ensure_pool()
         arrays = {"i_idx": nbr.i_idx, "rij": nbr.rij, "r": nbr.r, "y": y}
@@ -234,7 +225,7 @@ class ShardedSNAP:
             total = -(-total // 16) * 16  # 16-byte alignment
             specs[name] = (total, a.shape, a.dtype.str)
             total += a.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        shm = create_shm(total)
         try:
             for name, a in arrays.items():
                 _attach(shm.buf, specs, name)[...] = a
@@ -244,8 +235,7 @@ class ShardedSNAP:
                 dedr[lo:lo + block.shape[0]] = block
             return dedr
         finally:
-            shm.close()
-            shm.unlink()
+            close_shm(shm, unlink=True)
 
     # ------------------------------------------------------------------
     def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:

@@ -35,6 +35,18 @@ class Potential(abc.ABC):
     def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
         """Evaluate energy/forces/virial for the given neighborhood."""
 
+    # Optional protocol for radial pair potentials:
+    #
+    #   pair_terms(nbr) -> (phi, dphidr)
+    #
+    # per-pair bond energies and radial derivatives, every operation
+    # elementwise per pair (rows of any contiguous pair-list slice are
+    # bitwise identical to the full-list rows).  Potentials exposing it
+    # (e.g. LennardJones) are eligible for the multiprocess row-slice
+    # backend; ``compute`` should delegate through
+    # ``pair_result(natoms, nbr, *self.pair_terms(nbr))`` so both paths
+    # share one implementation.
+
     @property
     def name(self) -> str:
         return type(self).__name__

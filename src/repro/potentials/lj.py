@@ -37,7 +37,14 @@ class LennardJones(Potential):
         else:
             self._shift = 0.0
 
-    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    def pair_terms(self, nbr: NeighborBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(phi, dphidr)``; every operation is elementwise.
+
+        This is the radial-pair-potential contract the multiprocess
+        row-slice backend consumes directly: because each output row
+        depends only on its own pair, any contiguous slice of the pair
+        list yields bitwise-identical rows to the full-list evaluation.
+        """
         inside = nbr.r < self.cutoff
         sr6 = np.zeros(nbr.npairs)
         r = nbr.r
@@ -47,4 +54,8 @@ class LennardJones(Potential):
         dphidr = np.where(inside,
                           4.0 * self.epsilon * (-12.0 * sr12 + 6.0 * sr6) / np.where(r > 0, r, 1.0),
                           0.0)
+        return phi, dphidr
+
+    def compute(self, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+        phi, dphidr = self.pair_terms(nbr)
         return pair_result(natoms, nbr, phi, dphidr)

@@ -41,3 +41,41 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunMD:
+    """The ``run-md`` command across execution backends."""
+
+    def test_serial_default(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SerialEngine" in out
+        assert "32 atoms x 2 steps" in out
+        assert "procs]" not in out and "ranks" not in out
+
+    def test_backend_serial_explicit(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "2",
+                     "--backend", "serial"]) == 0
+        assert "SerialEngine" in capsys.readouterr().out
+
+    def test_backend_process(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "2",
+                     "--backend", "process", "--nprocs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ProcessEngine [2 procs]" in out
+        assert "32 atoms x 2 steps" in out
+
+    def test_nprocs_infers_process_backend(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "2",
+                     "--nprocs", "3"]) == 0
+        assert "ProcessEngine [3 procs]" in capsys.readouterr().out
+
+    def test_backend_distributed(self, capsys):
+        assert main(["run-md", "--natoms", "128", "--steps", "2",
+                     "--backend", "distributed", "--nranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DistributedEngine [2 ranks x 1 workers]" in out
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run-md", "--backend", "threads"])

@@ -201,3 +201,256 @@ class TestSatelliteFixes:
             summary = RunSummary.from_run(engine, 0, 0.0, 0.0)
         assert summary.atom_steps_per_s == float("inf")
         assert summary.nranks == 4
+
+
+# ======================================================================
+# ProcessEngine: shared-memory multiprocess rank backend
+# ======================================================================
+import os
+import signal
+import time
+from multiprocessing import shared_memory
+
+from repro.core import SNAPParams
+from repro.md import MDLoop
+from repro.parallel import ProcessEngine
+from repro.potentials import SNAPPotential, StillingerWeber
+
+
+def snap_setup(seed=3):
+    rng = np.random.default_rng(seed)
+    params = SNAPParams(twojmax=2, rcut=2.4, chunk=64)
+    pot = SNAPPotential(params, beta=rng.normal(
+        size=SNAPPotential(params).snap.index.ncoeff))
+    s = lattice_system("diamond", a=3.57, reps=(2, 2, 2))
+    s.positions = s.positions + rng.normal(scale=0.03, size=s.positions.shape)
+    s.seed_velocities(40.0, rng=np.random.default_rng(seed + 1))
+    return s, pot
+
+
+def assert_no_leaked_blocks(names):
+    """Every named block must be unlinked (re-attach must fail)."""
+    leaked = []
+    for name in names:
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        block.close()
+        leaked.append(name)
+    assert not leaked, f"leaked shared-memory blocks: {leaked}"
+
+
+class _ExplodingLJ(LennardJones):
+    """Raises inside the worker's force stage (error-protocol fixture)."""
+
+    def pair_terms(self, nbr):
+        raise ValueError("injected kernel failure")
+
+
+class TestProcessBackendFactory:
+    def test_backend_process_selected(self):
+        s, pot = lj_setup()
+        with build_engine(s, pot, backend="process", nprocs=2) as engine:
+            assert isinstance(engine, ProcessEngine)
+            assert engine.nprocs == 2
+
+    def test_nprocs_alone_implies_process(self):
+        s, pot = lj_setup()
+        with build_engine(s, pot, nprocs=2) as engine:
+            assert isinstance(engine, ProcessEngine)
+
+    def test_unknown_backend_rejected(self):
+        s, pot = lj_setup()
+        with pytest.raises(ValueError, match="backend"):
+            build_engine(s, pot, backend="gpu")
+
+    def test_unsupported_potential_rejected(self):
+        s, _ = lj_setup()
+        with pytest.raises(ValueError, match="pair_terms"):
+            ProcessEngine(s, StillingerWeber(), nprocs=2)
+
+
+class TestProcessParity:
+    def test_lj_forces_bitwise_vs_serial(self):
+        s1, pot1 = lj_setup()
+        serial = SerialEngine(s1, pot1)
+        s2, pot2 = lj_setup()
+        with ProcessEngine(s2, pot2, nprocs=3) as engine:
+            rng = np.random.default_rng(2)
+            for scale in (0.0, 0.01, 0.3):  # build, refresh, rebuild
+                step = rng.normal(scale=scale, size=s1.positions.shape)
+                s1.positions += step
+                s2.positions += step
+                a = serial.evaluate()
+                b = engine.evaluate()
+                assert np.array_equal(a.forces, b.forces)
+                assert np.array_equal(a.peratom, b.peratom)
+                assert a.energy == b.energy
+                assert np.allclose(a.virial, b.virial, **TOL)
+
+    def test_snap_forces_bitwise_vs_serial(self):
+        s1, pot = snap_setup()
+        serial = SerialEngine(s1, pot)
+        s2, _ = snap_setup()
+        s2.positions = s1.positions.copy()
+        with ProcessEngine(s2, pot, nprocs=2) as engine:
+            rng = np.random.default_rng(4)
+            for scale in (0.0, 0.01):  # build + refresh
+                step = rng.normal(scale=scale, size=s1.positions.shape)
+                s1.positions += step
+                s2.positions += step
+                a = serial.evaluate()
+                b = engine.evaluate()
+                assert np.array_equal(a.forces, b.forces)
+                assert np.allclose(a.peratom, b.peratom, **TOL)
+                assert np.isclose(a.energy, b.energy, **TOL)
+
+    def test_grow_protocol_keeps_bitwise_forces(self):
+        s1, pot1 = lj_setup()
+        a = SerialEngine(s1, pot1).evaluate()
+        s2, pot2 = lj_setup()
+        with ProcessEngine(s2, pot2, nprocs=2, pair_capacity=64) as engine:
+            b = engine.evaluate()
+            assert np.array_equal(a.forces, b.forces)
+            assert int(engine._ctl[2]) > 0  # generation advanced (regrown)
+
+    def test_thermo_log_rows_match_serial(self):
+        rows = {}
+        for backend in ("serial", "process"):
+            s, pot = lj_setup()
+            thermostat = LangevinThermostat(temp=40.0, damp=0.5, seed=11)
+            if backend == "serial":
+                sim = Simulation(s, pot, dt=1e-3, thermostat=thermostat)
+                sim.run(5, thermo_every=1)
+                rows[backend] = sim.thermo_log
+            else:
+                with ProcessEngine(s, pot, nprocs=2) as engine:
+                    loop = MDLoop(engine, dt=1e-3, thermostat=thermostat)
+                    loop.run(5, thermo_every=1)
+                    rows[backend] = loop.thermo_log
+        assert len(rows["serial"]) == len(rows["process"]) == 6
+        for a, b in zip(rows["serial"], rows["process"]):
+            assert a.step == b.step
+            assert np.isclose(a.temperature, b.temperature, **TOL)
+            assert np.isclose(a.potential_energy, b.potential_energy, **TOL)
+            assert np.isclose(a.kinetic_energy, b.kinetic_energy, **TOL)
+            assert np.isclose(a.total_energy, b.total_energy, **TOL)
+
+    def test_checkpoint_files_identical(self, tmp_path):
+        paths = {}
+        for backend in ("serial", "process"):
+            s, pot = lj_setup()
+            path = tmp_path / f"{backend}.npz"
+            if backend == "serial":
+                Simulation(s, pot, dt=1e-3, checkpoint_every=2,
+                           checkpoint_path=path).run(4)
+            else:
+                with ProcessEngine(s, pot, nprocs=2) as engine:
+                    MDLoop(engine, dt=1e-3, checkpoint_every=2,
+                           checkpoint_path=path).run(4)
+            paths[backend] = path
+        with np.load(paths["serial"]) as ser, \
+                np.load(paths["process"]) as proc:
+            assert sorted(ser.files) == sorted(proc.files)
+            assert int(ser["step"]) == int(proc["step"]) == 4
+            for key in ser.files:
+                assert np.allclose(ser[key], proc[key], **TOL), key
+
+    def test_barostat_tracks_serial(self):
+        volumes = {}
+        for backend in ("serial", "process"):
+            s, pot = lj_setup()
+            barostat = BerendsenBarostat(pressure=0.5, tau=0.05, kappa=0.3)
+            if backend == "serial":
+                Simulation(s, pot, dt=1e-3, barostat=barostat).run(5)
+            else:
+                with ProcessEngine(s, pot, nprocs=2) as engine:
+                    MDLoop(engine, dt=1e-3, barostat=barostat).run(5)
+            volumes[backend] = s.box.volume
+        assert volumes["serial"] != lj_setup()[0].box.volume
+        assert np.isclose(volumes["serial"], volumes["process"], **TOL)
+
+    def test_summary_fields(self):
+        s, pot = lj_setup()
+        with ProcessEngine(s, pot, nprocs=2) as engine:
+            summary = MDLoop(engine, dt=1e-3).run(2)
+        out = summary.as_dict()
+        for key in ("nprocs", "skin", "rebuilds", "ghost_bytes_per_step",
+                    "reverse_bytes_per_step"):
+            assert key in out
+        assert out["nprocs"] == 2
+        assert "nranks" not in out  # process layout, not a rank grid
+        assert {"neigh", "force", "comm"} <= set(out["phase_fractions"])
+        # serial summaries must not grow the process-only field
+        s2, pot2 = lj_setup()
+        serial = Simulation(s2, pot2, dt=1e-3).run(2)
+        assert "nprocs" not in serial
+
+
+class TestProcessRobustness:
+    def test_no_leaked_blocks_after_close(self):
+        s, pot = lj_setup()
+        engine = ProcessEngine(s, pot, nprocs=2)
+        engine.evaluate()
+        names = engine.block_names
+        assert names
+        engine.close()
+        engine.close()  # idempotent
+        assert_no_leaked_blocks(names)
+
+    def test_worker_exception_surfaces_and_cleans_up(self):
+        s, _ = lj_setup()
+        engine = ProcessEngine(s, _ExplodingLJ(epsilon=0.2, sigma=2.2,
+                                               cutoff=3.0), nprocs=2)
+        names = engine.block_names
+        with pytest.raises(RuntimeError, match="worker rank"):
+            engine.evaluate()
+        assert_no_leaked_blocks(names)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.evaluate()
+
+    def test_worker_death_raises_named_rank_without_hang(self):
+        s, pot = lj_setup()
+        engine = ProcessEngine(s, pot, nprocs=3)
+        engine.evaluate()
+        names = engine.block_names
+        os.kill(engine._procs[1].pid, signal.SIGTERM)
+        engine._procs[1].join(timeout=5.0)
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="rank 1"):
+            engine.evaluate()
+        assert time.monotonic() - t0 < 30.0  # detected, not hung
+        assert_no_leaked_blocks(names)
+
+
+@pytest.mark.slow
+class TestProcessMatrixSlow:
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 5])
+    def test_lj_bitwise_across_nprocs(self, nprocs):
+        s1, pot1 = lj_setup()
+        serial = SerialEngine(s1, pot1)
+        s2, pot2 = lj_setup()
+        with ProcessEngine(s2, pot2, nprocs=nprocs) as engine:
+            rng = np.random.default_rng(nprocs)
+            for scale in (0.0, 0.01, 0.05, 0.3):
+                step = rng.normal(scale=scale, size=s1.positions.shape)
+                s1.positions += step
+                s2.positions += step
+                assert np.array_equal(serial.evaluate().forces,
+                                      engine.evaluate().forces)
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 5])
+    def test_snap_bitwise_across_nprocs(self, nprocs):
+        s1, pot = snap_setup()
+        serial = SerialEngine(s1, pot)
+        s2, _ = snap_setup()
+        s2.positions = s1.positions.copy()
+        with ProcessEngine(s2, pot, nprocs=nprocs) as engine:
+            rng = np.random.default_rng(10 + nprocs)
+            for scale in (0.0, 0.01, 0.3):
+                step = rng.normal(scale=scale, size=s1.positions.shape)
+                s1.positions += step
+                s2.positions += step
+                assert np.array_equal(serial.evaluate().forces,
+                                      engine.evaluate().forces)

@@ -1,6 +1,6 @@
 """The `repro.lint` static pass: rule fixtures, pragmas, CLI, tier-1 gate.
 
-Each rule R1-R4 gets a *bad* fixture proving it detects its target
+Each rule R1-R5 gets a *bad* fixture proving it detects its target
 pattern and a *fixed* fixture proving the repaired form stays silent.
 The tier-1 "lint session" lives here too: the shipped tree under src/
 must produce zero findings, and (when installed) ruff must pass with the
@@ -322,6 +322,82 @@ class TestR4RawTimer:
                "    return time.perf_counter()  "
                "# repro-lint: disable=R4-raw-timer -- pool-thread stopwatch\n")
         assert_silent("R4-raw-timer", src, path=self.DRIVER)
+
+
+# ======================================================================
+# R5 - shared-memory lifecycle
+# ======================================================================
+class TestR5SharedMemory:
+    #: a path inside the shared-memory scope, but not the helper module
+    PAR = "repro/parallel/process_engine.py"
+
+    def test_raw_shared_memory_fires(self):
+        assert_fires("R5-shm-helper", (
+            "from multiprocessing import shared_memory\n"
+            "def grab(name):\n"
+            "    return shared_memory.SharedMemory(name=name)\n"),
+            path=self.PAR)
+
+    def test_helper_module_itself_is_exempt(self):
+        assert_silent("R5-shm-helper", (
+            "from multiprocessing import shared_memory\n"
+            "def create_shm(size):\n"
+            "    return shared_memory.SharedMemory(create=True, size=size)\n"),
+            path="repro/parallel/shm.py")
+
+    def test_helper_calls_are_silent(self):
+        assert_silent("R5-shm-helper", (
+            "from repro.parallel.shm import attach_shm\n"
+            "def grab(name):\n"
+            "    return attach_shm(name)\n"), path=self.PAR)
+
+    def test_scope_excludes_cold_paths(self):
+        assert_silent("R5-shm-helper", (
+            "from multiprocessing import shared_memory\n"
+            "def grab(name):\n"
+            "    return shared_memory.SharedMemory(name=name)\n"), path=COLD)
+
+    def test_create_without_cleanup_fires(self):
+        assert_fires("R5-shm-lifecycle", (
+            "from repro.parallel.shm import create_shm\n"
+            "def scratch(n):\n"
+            "    shm = create_shm(n)\n"
+            "    return shm.buf[:n]\n"), path=self.PAR)
+
+    def test_create_with_try_finally_is_silent(self):
+        assert_silent("R5-shm-lifecycle", (
+            "from repro.parallel.shm import close_shm, create_shm\n"
+            "def scratch(n):\n"
+            "    shm = create_shm(n)\n"
+            "    try:\n"
+            "        return bytes(shm.buf[:n])\n"
+            "    finally:\n"
+            "        close_shm(shm, unlink=True)\n"), path=self.PAR)
+
+    def test_sharedblock_with_statement_is_silent(self):
+        assert_silent("R5-shm-lifecycle", (
+            "from repro.parallel.shm import SharedBlock\n"
+            "def scratch(n):\n"
+            "    block = SharedBlock.create('x', (n,), float)\n"
+            "    with block:\n"
+            "        return block.array.sum()\n"), path=self.PAR)
+
+    def test_self_owned_block_without_close_method_fires(self):
+        assert_fires("R5-shm-lifecycle", (
+            "from repro.parallel.shm import SharedBlock\n"
+            "class Engine:\n"
+            "    def __init__(self, n):\n"
+            "        self.pos = SharedBlock.create('pos', (n, 3), float)\n"),
+            path=self.PAR)
+
+    def test_self_owned_block_with_close_method_is_silent(self):
+        assert_silent("R5-shm-lifecycle", (
+            "from repro.parallel.shm import SharedBlock\n"
+            "class Engine:\n"
+            "    def __init__(self, n):\n"
+            "        self.pos = SharedBlock.create('pos', (n, 3), float)\n"
+            "    def close(self):\n"
+            "        self.pos.close()\n"), path=self.PAR)
 
 
 # ======================================================================

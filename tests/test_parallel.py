@@ -5,8 +5,8 @@ import pytest
 
 from repro.core import SNAPParams
 from repro.md import Box, build_pairs
-from repro.parallel import (DistributedSimulation, DomainGrid, best_grid,
-                            build_halos)
+from repro.parallel import (DistributedSimulation, DomainGrid, SharedBlock,
+                            best_grid, build_halos, row_partition)
 from repro.potentials import LennardJones, SNAPPotential, StillingerWeber
 from repro.structures import lattice_system
 
@@ -160,3 +160,53 @@ class TestDistributed:
         # wrap both before comparing (distributed wraps internally)
         assert np.allclose(s1.box.wrap(s1.positions), s2.box.wrap(s2.positions),
                            atol=1e-8)
+
+
+class TestRowPartition:
+    def test_covers_all_atoms_contiguously(self):
+        bounds = row_partition(103, 4)
+        assert bounds[0] == 0 and bounds[-1] == 103
+        sizes = np.diff(bounds)
+        assert sizes.sum() == 103
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_single_proc_owns_everything(self):
+        assert list(row_partition(7, 1)) == [0, 7]
+
+    def test_more_procs_than_atoms(self):
+        bounds = row_partition(2, 5)
+        assert bounds[-1] == 2
+        assert (np.diff(bounds) >= 0).all()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            row_partition(-1, 2)
+        with pytest.raises(ValueError):
+            row_partition(10, 0)
+
+
+class TestSharedBlock:
+    def test_create_attach_roundtrip(self):
+        owner = SharedBlock.create(None, (4, 3), np.float64)
+        try:
+            owner.array[...] = np.arange(12.0).reshape(4, 3)
+            view = SharedBlock.attach(owner.name, (4, 3), np.float64)
+            try:
+                assert np.array_equal(view.array,
+                                      np.arange(12.0).reshape(4, 3))
+                view.array[2, 1] = -5.0
+                assert owner.array[2, 1] == -5.0
+            finally:
+                view.close()
+        finally:
+            owner.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        from multiprocessing import shared_memory
+
+        block = SharedBlock.create(None, (8,), np.int64)
+        name = block.name
+        block.close()
+        block.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
