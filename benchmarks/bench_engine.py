@@ -15,17 +15,48 @@ time-slice one core and pay the synchronization tax — so read that
 field against ``host.cpu_count``.
 """
 
+import json
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.benchrecord import make_record, write_record
-from repro.md import MDLoop, build_engine
+from repro.md import (AsyncTrajectoryWriter, MDLoop, TrajectoryFile,
+                      build_engine)
 from repro.potentials import LennardJones
 from repro.structures import lattice_system
 
 STEPS = 5
+#: trajectory-IO benchmark: longer run at the production frame cadence
+IO_STEPS = 120
+IO_EVERY = 10
+IO_TRIALS = 5
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _write_engine_record(record: dict) -> Path:
+    """Write one section of ``BENCH_engine.json``, keeping the other.
+
+    Both engine benchmarks share the file: the backend sweep is the
+    top-level record, the trajectory-IO sweep lives under its
+    ``trajectory_io`` key.  Each test carries the other's section over
+    so the file's content is independent of test order.
+    """
+    if RECORD_PATH.exists():
+        old = json.loads(RECORD_PATH.read_text())
+        if record.get("benchmark") == "trajectory_io_overhead":
+            if old.get("benchmark") == "engine_backends":
+                old["trajectory_io"] = record
+                record = old
+            else:
+                record = {"trajectory_io": record}
+        elif "trajectory_io" in old:
+            record["trajectory_io"] = old["trajectory_io"]
+    elif record.get("benchmark") == "trajectory_io_overhead":
+        record = {"trajectory_io": record}
+    return write_record(RECORD_PATH, record)
 
 
 def _system(rng):
@@ -78,8 +109,7 @@ def test_engine_backends_record(benchmark, report, rng):
         problem={"natoms": s0.natoms, "steps": STEPS, "potential": "LJ"},
         seconds=seconds, natoms=s0.natoms * STEPS, reference="serial",
         extras=extras)
-    out_path = write_record(Path(__file__).resolve().parent.parent
-                            / "BENCH_engine.json", record)
+    out_path = _write_engine_record(record)
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     report(f"engine backends ({s0.natoms} atoms, {STEPS} steps, LJ):")
@@ -89,4 +119,79 @@ def test_engine_backends_record(benchmark, report, rng):
         report(f"{name:>18s} {extras[name]['backend']:>18s} "
                f"{seconds[name]:8.3f} "
                f"{extras[name]['atom_steps_per_s']:14.0f}")
+    report(f"recorded -> {out_path.name}")
+
+
+def test_trajectory_io_overhead_record(benchmark, report, rng, tmp_path):
+    """Streaming-writer tax on the MD step: async vs sync vs no IO.
+
+    The async writer encodes on the caller thread and drains to disk on
+    a background thread, so at the production frame cadence its step
+    overhead versus a no-IO run should be in the noise (<5%); the
+    synchronous :class:`TrajectoryFile` pays the full write on the MD
+    thread and bounds what the double-buffering saves.  Best-of-N per
+    variant to keep container timing jitter out of the ratio (the
+    per-frame cost is tens of microseconds against a multi-millisecond
+    step, so one noisy trial would dominate the signal).
+    """
+    s0, pot = _system(rng)
+
+    def timed(writer_factory):
+        best = None
+        for trial in range(IO_TRIALS):
+            sm = s0.copy()
+            sm.seed_velocities(50.0, rng=np.random.default_rng(13))
+            writer = writer_factory(trial)
+            try:
+                with build_engine(sm, pot) as engine:
+                    loop = MDLoop(engine, dt=1e-3, trajectory=writer,
+                                  trajectory_every=IO_EVERY)
+                    t0 = time.perf_counter()
+                    out = loop.run(IO_STEPS)
+                    dt = time.perf_counter() - t0
+            finally:
+                if writer is not None:
+                    writer.close()
+            if best is None or dt < best[0]:
+                best = (dt, out)
+        return best
+
+    variants = {
+        "no_io": lambda trial: None,
+        "async_traj": lambda trial: AsyncTrajectoryWriter(
+            tmp_path / f"async{trial}.trj", natoms=s0.natoms),
+        "sync_traj": lambda trial: TrajectoryFile(
+            tmp_path / f"sync{trial}.trj", natoms=s0.natoms),
+    }
+    seconds, extras = {}, {}
+    for name, factory in variants.items():
+        dt, out = timed(factory)
+        seconds[name] = dt
+        extras[name] = {"atom_steps_per_s": out.atom_steps_per_s}
+        if out.io_bytes is not None:
+            extras[name].update(io_frames=out.io_frames,
+                                io_bytes=out.io_bytes,
+                                io_bytes_per_s=out.io_bytes_per_s)
+    for name in ("async_traj", "sync_traj"):
+        extras[name]["overhead_vs_no_io"] = \
+            seconds[name] / seconds["no_io"] - 1.0
+
+    record = make_record(
+        "trajectory_io_overhead",
+        problem={"natoms": s0.natoms, "steps": IO_STEPS,
+                 "frame_every": IO_EVERY, "potential": "LJ"},
+        seconds=seconds, natoms=s0.natoms * IO_STEPS, reference="no_io",
+        extras=extras)
+    out_path = _write_engine_record(record)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(f"trajectory IO ({s0.natoms} atoms, {IO_STEPS} steps, "
+           f"frame every {IO_EVERY}):")
+    report(f"{'variant':>12s} {'s':>8s} {'overhead':>9s} {'MB/s':>8s}")
+    for name in variants:
+        over = extras[name].get("overhead_vs_no_io")
+        rate = extras[name].get("io_bytes_per_s")
+        report(f"{name:>12s} {seconds[name]:8.3f} "
+               f"{over * 100 if over is not None else 0:8.1f}% "
+               f"{(rate or 0) / 1e6:8.1f}")
     report(f"recorded -> {out_path.name}")

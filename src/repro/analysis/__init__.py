@@ -3,6 +3,7 @@
 from .dynamics import diffusion_coefficient, vacf, vibrational_dos
 from .eos import (BirchMurnaghanFit, birch_murnaghan_energy, cold_curve,
                   fit_birch_murnaghan)
+from .observers import PhaseFractionObserver, RDFObserver, ThermoObserver
 from .order import local_fingerprints, steinhardt_q
 from .phase import PHASE_LABELS, PhaseClassifier
 from .rdf import coordination_numbers, rdf
@@ -25,4 +26,7 @@ __all__ = [
     "vacf",
     "vibrational_dos",
     "diffusion_coefficient",
+    "RDFObserver",
+    "PhaseFractionObserver",
+    "ThermoObserver",
 ]

@@ -150,9 +150,35 @@ def _cmd_run_md(args) -> int:
         params = SNAPParams(twojmax=args.twojmax, rcut=rcut)
         pot = SNAPPotential(params, beta=np.random.default_rng(0).normal(
             size=SNAP(params).index.ncoeff))
-    with build_engine(s, pot, backend=args.backend, nranks=args.nranks,
-                      nworkers=args.nworkers, nprocs=args.nprocs) as engine:
-        summary = MDLoop(engine, dt=args.dt).run(args.steps)
+    observers = []
+    for name in (n.strip() for n in (args.observe or "").split(",") if n.strip()):
+        if name == "rdf":
+            from .analysis import RDFObserver
+            rmax = (26 / (4 / 3 * np.pi * density)) ** (1 / 3)
+            observers.append(RDFObserver(rmax=rmax,
+                                         every=args.observe_every))
+        elif name == "phase":
+            from .analysis import PhaseFractionObserver
+            observers.append(PhaseFractionObserver(every=args.observe_every))
+        elif name == "thermo":
+            from .analysis import ThermoObserver
+            observers.append(ThermoObserver(every=args.observe_every))
+        else:
+            print(f"unknown observer: {name} (choose rdf, phase, thermo)")
+            return 2
+    writer = None
+    if args.traj:
+        from .md import AsyncTrajectoryWriter
+        writer = AsyncTrajectoryWriter(args.traj, natoms=s.natoms)
+    try:
+        with build_engine(s, pot, backend=args.backend, nranks=args.nranks,
+                          nworkers=args.nworkers, nprocs=args.nprocs) as engine:
+            summary = MDLoop(engine, dt=args.dt, trajectory=writer,
+                             trajectory_every=args.traj_every,
+                             observers=observers).run(args.steps)
+    finally:
+        if writer is not None:
+            writer.close()
     backend = type(engine).__name__
     layout = ""
     if summary.nprocs is not None:
@@ -164,6 +190,24 @@ def _cmd_run_md(args) -> int:
           f"-> {summary.atom_steps_per_s / 1e3:.2f} Katom-steps/s")
     for phase, frac in sorted(summary.phase_fractions.items()):
         print(f"  {phase:8s} {frac * 100:5.1f}%")
+    if writer is not None and summary.io_bytes is not None:
+        rate = summary.io_bytes_per_s or 0.0
+        print(f"  trajectory: {summary.io_frames} frames, "
+              f"{summary.io_bytes} bytes -> {args.traj} "
+              f"({rate / 1e6:.1f} MB/s)")
+    for obs in observers:
+        print(f"  observer {type(obs).__name__}: "
+              f"{_observer_samples(obs)} samples")
+    return 0
+
+
+def _observer_samples(obs) -> int:
+    for attr in ("nsamples",):
+        if hasattr(obs, attr):
+            return int(getattr(obs, attr))
+    for attr in ("rows", "steps"):
+        if hasattr(obs, attr):
+            return len(getattr(obs, attr))
     return 0
 
 
@@ -194,6 +238,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--nworkers", type=int, default=1)
     p.add_argument("--nprocs", type=int, default=None,
                    help="worker processes for the process backend")
+    p.add_argument("--traj", default=None,
+                   help="stream a binary trajectory to this path")
+    p.add_argument("--traj-every", type=int, default=1,
+                   help="trajectory frame cadence in steps")
+    p.add_argument("--observe", default=None,
+                   help="comma list of in-situ observers: rdf,phase,thermo")
+    p.add_argument("--observe-every", type=int, default=1,
+                   help="observer cadence in steps")
     p.add_argument("--potential", choices=("lj", "snap"), default="lj")
     p.add_argument("--twojmax", type=int, default=4)
     p.set_defaults(fn=_cmd_run_md)

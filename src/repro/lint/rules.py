@@ -1,6 +1,6 @@
 """Repo-aware static-analysis rules for the SNAP/MD codebase.
 
-Five rule families, mirroring the conventions the concurrent hot path
+Six rule families, mirroring the conventions the concurrent hot path
 relies on (see the module docstrings of :mod:`repro.parallel.shards`,
 :mod:`repro.parallel.distributed` and
 :mod:`repro.parallel.process_engine`):
@@ -34,6 +34,14 @@ R5 *shared-memory lifecycle*
     raw ``SharedMemory`` touch must go through :mod:`repro.parallel.shm`
     and every created block must have a guaranteed close+unlink path.
 
+R6 *io ownership*
+    Checkpoint and trajectory files have exactly two owners -
+    :mod:`repro.md.dump` (atomic ``.npz`` checkpoints) and
+    :mod:`repro.md.trajectory` (chunked binary frames with torn-tail
+    recovery).  A raw ``open(..., "w")``/``np.savez`` against a
+    restart-critical path anywhere else bypasses the atomic-replace
+    and CRC conventions those modules exist to centralize.
+
 Every rule reports :class:`Finding` objects; suppression happens in the
 engine via ``# repro-lint: disable=<id> -- <why>`` pragmas.
 """
@@ -46,7 +54,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 __all__ = ["Finding", "Rule", "RULES", "FileContext", "HOT_PATH_SCOPE",
-           "THREAD_SCOPE", "TIMER_SCOPE", "SHM_SCOPE"]
+           "THREAD_SCOPE", "TIMER_SCOPE", "SHM_SCOPE", "IO_SCOPE"]
 
 
 @dataclass(frozen=True)
@@ -93,7 +101,8 @@ HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py",
                   "repro/md/engine.py")
 #: where the guarded-by convention is enforced
 THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py",
-                "repro/parallel/process_engine.py", "repro/md/engine.py")
+                "repro/parallel/process_engine.py", "repro/md/engine.py",
+                "repro/md/trajectory.py")
 #: where raw perf_counter() loop accounting is banned outside the
 #: sanctioned owners (PhaseTimers and the shared MDLoop): the drivers
 #: and the engine layer, which must route timing through PhaseTimers
@@ -102,6 +111,12 @@ TIMER_SCOPE = ("repro/md/simulation.py", "repro/md/engine.py",
                "repro/parallel/process_engine.py")
 #: where the shared-memory helper/lifecycle rules bite
 SHM_SCOPE = ("repro/parallel/",)
+#: where the R6 io-ownership rule bites (the whole package)
+IO_SCOPE = ("repro/",)
+#: the only modules allowed to write restart-critical files raw
+_IO_OWNER_PATHS = ("md/dump.py", "md/trajectory.py")
+#: path-expression fragments that mark a file as restart-critical
+_IO_NAME_HINTS = ("traj", "ckpt", "checkpoint", "restart")
 #: the one module allowed to touch multiprocessing.shared_memory raw
 _SHM_HELPER_PATH = "parallel/shm.py"
 #: classes allowed to call time.perf_counter() directly inside TIMER_SCOPE
@@ -989,6 +1004,81 @@ def _check_r5(ctx: FileContext) -> list[Finding]:
 
 
 # ======================================================================
+# R6 - io ownership
+# ======================================================================
+#: callables that put bytes on disk
+_WRITE_TAILS = ("savez", "savez_compressed", "save",
+                "write_bytes", "write_text")
+
+
+def _expr_words(node: ast.expr) -> str:
+    """Identifiers and string literals inside an expression, joined."""
+    parts: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            parts.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            parts.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            parts.append(sub.value)
+        elif isinstance(sub, ast.JoinedStr):
+            for v in sub.values:
+                if isinstance(v, ast.Constant) and isinstance(v.value, str):
+                    parts.append(v.value)
+    return " ".join(parts)
+
+
+def _restart_critical(text: str) -> bool:
+    text = text.lower()
+    return any(hint in text for hint in _IO_NAME_HINTS)
+
+
+def _check_r6(ctx: FileContext) -> list[Finding]:
+    """Confine raw writes of checkpoint/trajectory files to their owners.
+
+    ``repro.md.dump`` owns checkpoints (temp file + ``os.replace`` so a
+    crash mid-write never corrupts the last good restart point) and
+    ``repro.md.trajectory`` owns trajectory streams (chunked frames
+    with CRCs and torn-tail recovery).  Any other module calling
+    ``open(..., "w")``, ``np.savez*`` or ``Path.write_*`` on a path
+    whose expression mentions traj/ckpt/checkpoint/restart is writing a
+    restart-critical file without those guarantees.
+    """
+    findings: list[Finding] = []
+    if any(ctx.path.endswith(p) for p in _IO_OWNER_PATHS):
+        return findings
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node) or ""
+        tail = _tail(name)
+        is_write = False
+        target = name
+        if tail == "open":
+            mode = node.args[1] if len(node.args) >= 2 else None
+            for kwa in node.keywords:
+                if kwa.arg == "mode":
+                    mode = kwa.value
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
+                    and any(c in mode.value for c in "wax+"):
+                is_write = True
+                if node.args:
+                    target += " " + _expr_words(node.args[0])
+        elif tail in _WRITE_TAILS:
+            is_write = True
+            if node.args:
+                target += " " + _expr_words(node.args[0])
+        if is_write and _restart_critical(target):
+            findings.append(Finding(
+                "R6-io-owner", ctx.path, node.lineno, node.col_offset,
+                "raw write of a checkpoint/trajectory path outside "
+                "repro.md.dump / repro.md.trajectory; route it through "
+                "write_checkpoint or TrajectoryFile so atomic replace "
+                "and torn-frame recovery apply"))
+    return findings
+
+
+# ======================================================================
 # registry
 # ======================================================================
 RULES: dict[str, Rule] = {r.id: r for r in [
@@ -1031,4 +1121,7 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     Rule("R5-shm-lifecycle",
          "shared-memory block created without a guaranteed cleanup path",
          SHM_SCOPE, _check_r5),
+    Rule("R6-io-owner",
+         "raw write of a restart-critical file outside its owner module",
+         IO_SCOPE, _check_r6),
 ]}

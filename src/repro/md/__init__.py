@@ -1,7 +1,8 @@
 """Molecular-dynamics substrate: boxes, neighbor lists, integrators, driver."""
 
 from .box import Box
-from .dump import read_checkpoint, write_checkpoint
+from .dump import (Checkpoint, load_checkpoint, read_checkpoint,
+                   write_checkpoint)
 from .engine import (DistributedEngine, ForceEngine, MDLoop, RunSummary,
                      SerialEngine, ThermoEntry, build_engine)
 from .integrators import (BerendsenBarostat, BerendsenThermostat,
@@ -11,6 +12,8 @@ from .neighbor import NeighborList, build_pairs, filter_pairs
 from .simulation import Simulation
 from .system import ParticleSystem
 from .timers import PhaseTimers
+from .trajectory import (AsyncTrajectoryWriter, Frame, TrajectoryFile,
+                         TrajectoryReader, WriterLedger)
 
 __all__ = [
     "Box",
@@ -36,4 +39,11 @@ __all__ = [
     "PhaseTimers",
     "write_checkpoint",
     "read_checkpoint",
+    "load_checkpoint",
+    "Checkpoint",
+    "Frame",
+    "TrajectoryFile",
+    "TrajectoryReader",
+    "AsyncTrajectoryWriter",
+    "WriterLedger",
 ]

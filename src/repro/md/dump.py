@@ -4,10 +4,28 @@ The paper's production runs wrote binary checkpoint files whose cost is
 visible as the large dips of Fig. 7; our driver reproduces the behavior
 (and accounts the time under the "io" phase) with compressed ``.npz``
 checkpoints.
+
+Two restart-correctness guarantees live here:
+
+* **suffix normalization** - ``np.savez_compressed`` silently appends
+  ``.npz`` when the path lacks it, which historically made
+  ``write_checkpoint("ckpt")`` land at ``ckpt.npz`` while
+  ``read_checkpoint("ckpt")`` raised FileNotFoundError.  Both ends now
+  normalize through :func:`checkpoint_path`.
+* **atomic replace** - the archive is written to a temporary file in
+  the target directory and moved onto the final path with
+  ``os.replace``, so a crash mid-write can never leave a truncated
+  checkpoint where a good one (or nothing) should be.
+
+Streaming per-frame output lives in :mod:`repro.md.trajectory`; these
+two modules are the only ones allowed to open checkpoint/trajectory
+paths for writing (lint rule R6).
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -15,13 +33,34 @@ import numpy as np
 from .box import Box
 from .system import ParticleSystem
 
-__all__ = ["write_checkpoint", "read_checkpoint", "TrajectoryWriter"]
+__all__ = ["write_checkpoint", "read_checkpoint", "load_checkpoint",
+           "Checkpoint", "checkpoint_path", "TrajectoryWriter"]
+
+#: keys every checkpoint carries; anything else is loop/engine extras
+_CORE_KEYS = frozenset({"positions", "velocities", "masses", "types",
+                        "box_lengths", "periodic", "step"})
 
 
-def write_checkpoint(path: str | Path, system: ParticleSystem, step: int = 0) -> None:
-    """Write a binary restart file (positions, velocities, box, step)."""
-    np.savez_compressed(
-        Path(path),
+def checkpoint_path(path: str | Path) -> Path:
+    """Normalize a checkpoint path to the ``.npz`` suffix savez uses."""
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def write_checkpoint(path: str | Path, system: ParticleSystem,
+                     step: int = 0,
+                     extra: dict[str, np.ndarray] | None = None) -> Path:
+    """Atomically write a binary restart file; returns the actual path.
+
+    ``extra`` arrays (thermostat RNG state, neighbor-topology reference,
+    trajectory offsets, ...) are stored alongside the core keys and come
+    back via :func:`load_checkpoint`; their names must not collide with
+    the core keys.
+    """
+    path = checkpoint_path(path)
+    arrays: dict[str, np.ndarray] = dict(
         positions=system.positions,
         velocities=system.velocities,
         masses=system.masses,
@@ -30,39 +69,86 @@ def write_checkpoint(path: str | Path, system: ParticleSystem, step: int = 0) ->
         periodic=np.array(system.box.periodic, dtype=bool),
         step=np.array(step),
     )
+    if extra:
+        overlap = _CORE_KEYS.intersection(extra)
+        if overlap:
+            raise ValueError(f"extra keys collide with core checkpoint "
+                             f"keys: {sorted(overlap)}")
+        arrays.update(extra)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+@dataclass
+class Checkpoint:
+    """Decoded restart file: the system plus whatever extras rode along."""
+
+    system: ParticleSystem
+    step: int
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a checkpoint including its extra arrays."""
+    with np.load(checkpoint_path(path)) as data:
+        box = Box(lengths=data["box_lengths"],
+                  periodic=tuple(data["periodic"]))
+        system = ParticleSystem(
+            positions=data["positions"], box=box, masses=data["masses"],
+            velocities=data["velocities"], types=data["types"])
+        extras = {k: np.array(data[k]) for k in data.files
+                  if k not in _CORE_KEYS}
+        return Checkpoint(system=system, step=int(data["step"]),
+                          extras=extras)
 
 
 def read_checkpoint(path: str | Path) -> tuple[ParticleSystem, int]:
     """Read a checkpoint written by :func:`write_checkpoint`."""
-    with np.load(Path(path)) as data:
-        box = Box(lengths=data["box_lengths"], periodic=tuple(data["periodic"]))
-        system = ParticleSystem(
-            positions=data["positions"], box=box, masses=data["masses"],
-            velocities=data["velocities"], types=data["types"])
-        return system, int(data["step"])
+    ck = load_checkpoint(path)
+    return ck.system, ck.step
 
 
 class TrajectoryWriter:
     """Accumulate snapshots in memory, flush to one ``.npz`` on close.
 
     Suitable for the example scripts' short trajectories; production
-    checkpoints use :func:`write_checkpoint`.
+    runs stream :class:`repro.md.trajectory.AsyncTrajectoryWriter`
+    frames instead, and checkpoints use :func:`write_checkpoint`.
     """
 
     def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
+        # normalized up front so self.path names the file savez creates
+        self.path = checkpoint_path(path)
         self._frames: list[np.ndarray] = []
         self._steps: list[int] = []
+        self._closed = False
 
     def append(self, system: ParticleSystem, step: int) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{self.path}: TrajectoryWriter is closed; frames appended "
+                "now would be silently lost")
         self._frames.append(system.positions.copy())
         self._steps.append(step)
 
     def close(self) -> None:
+        """Flush buffered frames (idempotent; a reused writer must not
+        rewrite stale frames, so the buffer is cleared either way)."""
         if self._frames:
             np.savez_compressed(self.path,
                                 positions=np.stack(self._frames),
                                 steps=np.array(self._steps))
+        self._frames = []
+        self._steps = []
+        self._closed = True
 
     def __enter__(self) -> "TrajectoryWriter":
         return self

@@ -48,11 +48,12 @@ import numpy as np
 from ..core.snap import EnergyForces, NeighborBatch
 from ..potentials.base import Potential
 from .box import Box
-from .dump import write_checkpoint
+from .dump import load_checkpoint, write_checkpoint
 from .integrators import VelocityVerlet
 from .neighbor import NeighborList, build_pairs, filter_pairs
 from .system import ParticleSystem
 from .timers import PhaseTimers
+from .trajectory import Frame
 
 __all__ = ["ForceEngine", "SerialEngine", "DistributedEngine", "MDLoop",
            "RunSummary", "ThermoEntry", "CommLedger", "build_engine"]
@@ -101,19 +102,30 @@ class RunSummary:
     rebuilds: int | None = None
     ghost_bytes_per_step: float | None = None
     reverse_bytes_per_step: float | None = None
+    #: trajectory-writer ledger (populated when the loop streams frames)
+    io_frames: int | None = None
+    io_bytes: int | None = None
+    io_write_s: float | None = None
+    io_bytes_per_s: float | None = None
 
     @classmethod
     def from_run(cls, engine: "ForceEngine", nsteps: int, wall: float,
-                 energy: float) -> "RunSummary":
+                 energy: float, writer=None) -> "RunSummary":
         natoms = engine.system.natoms
         atom_steps = natoms * max(nsteps, 1)
+        extras = dict(engine.summary_extras())
+        if writer is not None and getattr(writer, "ledger", None) is not None:
+            led = writer.ledger
+            extras.update(io_frames=led.frames, io_bytes=led.nbytes,
+                          io_write_s=led.write_s,
+                          io_bytes_per_s=led.bytes_per_s)
         return cls(
             steps=nsteps, natoms=natoms, wall_s=wall,
             atom_steps_per_s=atom_steps / wall if wall > 0 else float("inf"),
             phase_fractions=engine.timers.fractions(),
             phase_breakdown=engine.timers.breakdown(),
             neighbor_builds=engine.neighbor_builds,
-            energy=energy, **engine.summary_extras())
+            energy=energy, **extras)
 
     def as_dict(self) -> dict:
         """Summary dict in the legacy key order, ``None`` fields omitted."""
@@ -130,6 +142,10 @@ class RunSummary:
             ("rebuilds", self.rebuilds),
             ("ghost_bytes_per_step", self.ghost_bytes_per_step),
             ("reverse_bytes_per_step", self.reverse_bytes_per_step),
+            ("io_frames", self.io_frames),
+            ("io_bytes", self.io_bytes),
+            ("io_write_s", self.io_write_s),
+            ("io_bytes_per_s", self.io_bytes_per_s),
             ("energy", self.energy),
         ]
         return {k: v for k, v in ordered if v is not None}
@@ -203,6 +219,19 @@ class ForceEngine(abc.ABC):
         """Neighbor(-and-halo) topology builds since construction."""
         return 0
 
+    @property
+    def topology_reference(self) -> np.ndarray | None:
+        """Positions the current neighbor topology was built at.
+
+        Pair *order* (and hence the floating-point accumulation order of
+        forces) depends on the build-time coordinates, so checkpoints
+        store this array and :meth:`MDLoop.restore` replays one priming
+        evaluation at it - that is what makes a resumed run bitwise
+        identical to an uninterrupted one.  ``None`` before the first
+        build or for engines without persistent topology.
+        """
+        return None
+
     def summary_extras(self) -> dict:
         """Backend-specific :class:`RunSummary` fields."""
         return {}
@@ -255,6 +284,11 @@ class SerialEngine(ForceEngine):
     @property
     def neighbor_builds(self) -> int:
         return self.neighbors.nbuilds
+
+    @property
+    def topology_reference(self) -> np.ndarray | None:
+        ref = self.neighbors.ref_positions
+        return None if ref is None else ref.copy()
 
     def evaluate(self, positions: np.ndarray | None = None) -> EnergyForces:
         if positions is None:
@@ -387,6 +421,9 @@ class DistributedEngine(ForceEngine):
         self._pool: ThreadPoolExecutor | None = None
         self._ranks: list[_RankState] | None = None
         self._ref_pos: np.ndarray | None = None
+        #: raw (pre-wrap) positions of the last rebuild; wrap() is
+        #: deterministic, so re-evaluating at these replays the build
+        self._ref_raw: np.ndarray | None = None
         self._ghost_count = 0
         self._ghost_count_1x = 0
         self._ghost_count_2x = 0
@@ -419,6 +456,10 @@ class DistributedEngine(ForceEngine):
     @property
     def neighbor_builds(self) -> int:
         return self.ledger.rebuilds
+
+    @property
+    def topology_reference(self) -> np.ndarray | None:
+        return None if self._ref_raw is None else self._ref_raw.copy()
 
     def summary_extras(self) -> dict:
         return {
@@ -579,6 +620,7 @@ class DistributedEngine(ForceEngine):
             with self.timers.phase("comm"), \
                     self.timers.phase("comm.halo_build"):
                 self._rebuild(pos)
+            self._ref_raw = np.array(positions)
             disp = None
             ledger.ghost_bytes += self._ghost_count * BYTES_PER_GHOST
         else:
@@ -672,12 +714,29 @@ class MDLoop:
     Owns integration, the Langevin thermostat (applied as a force
     modifier after every evaluation, so both Verlet half-kicks see the
     thermostated forces), the Berendsen barostat, thermo logging,
-    checkpoint IO (accounted in the "io" phase) and the run summary.
+    checkpoint IO (accounted in the "io" phase), streaming trajectory
+    output, in-situ observers and the run summary.
+
+    Observers follow a duck-typed protocol: any object with
+    ``observe(step, system, result)`` (and an optional integer ``every``
+    cadence attribute, default 1) is called after each step under the
+    "analysis" phase - see :mod:`repro.analysis.observers`.
+
+    ``trajectory`` accepts a :class:`repro.md.trajectory.TrajectoryFile`
+    or :class:`~repro.md.trajectory.AsyncTrajectoryWriter`; frames are
+    written every ``trajectory_every`` steps with the submit cost under
+    the "io" phase and the writer's byte/throughput ledger surfaced in
+    the :class:`RunSummary`.  :meth:`restore` resumes a checkpointed run
+    bitwise-identically (see the method docstring for the mechanics).
     """
 
     def __init__(self, engine: ForceEngine, dt: float = 1.0e-3,
                  thermostat=None, barostat=None, checkpoint_every: int = 0,
-                 checkpoint_path: str | Path | None = None) -> None:
+                 checkpoint_path: str | Path | None = None,
+                 trajectory=None, trajectory_every: int = 0,
+                 trajectory_positions: bool = True,
+                 trajectory_velocities: bool = False,
+                 observers=()) -> None:
         self.engine = engine
         self.integrator = VelocityVerlet(dt=dt)
         self.thermostat = thermostat
@@ -685,9 +744,18 @@ class MDLoop:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path \
             else None
+        self.trajectory = trajectory
+        self.trajectory_every = int(trajectory_every)
+        self.trajectory_positions = bool(trajectory_positions)
+        self.trajectory_velocities = bool(trajectory_velocities)
+        self.observers = list(observers)
         self.step = 0
         self.thermo_log: list[ThermoEntry] = []
         self._last: EnergyForces | None = None
+        #: set by restore(): the next run() must not repeat the
+        #: current step's thermo row / observer call / trajectory frame
+        #: (the uninterrupted run emitted them before the checkpoint)
+        self._resumed = False
 
     @property
     def system(self) -> ParticleSystem:
@@ -730,14 +798,155 @@ class MDLoop:
             potential_energy=pe, kinetic_energy=ke, total_energy=pe + ke))
 
     # ------------------------------------------------------------------
+    # in-situ observers and streaming trajectory output
+    # ------------------------------------------------------------------
+    def _observe(self) -> None:
+        if not self.observers:
+            return
+        with self.timers.phase("analysis"):
+            for obs in self.observers:
+                every = max(int(getattr(obs, "every", 1)), 1)
+                if self.step % every == 0:
+                    obs.observe(self.step, self.system, self._last)
+
+    def _trajectory_due(self) -> bool:
+        return (self.trajectory is not None and self.trajectory_every > 0
+                and self.step % self.trajectory_every == 0)
+
+    def _write_frame(self) -> None:
+        with self.timers.phase("io"):
+            self.trajectory.write_frame(Frame.from_state(
+                self.step, self.system, self._last,
+                positions=self.trajectory_positions,
+                velocities=self.trajectory_velocities))
+
+    # ------------------------------------------------------------------
+    # checkpoint / exact restart
+    # ------------------------------------------------------------------
+    def checkpoint_extras(self) -> dict:
+        """Loop/engine state arrays stored alongside the system state."""
+        extra: dict = {}
+        rng_state = getattr(self.thermostat, "rng_state", None)
+        if callable(rng_state):
+            extra["thermostat_rng"] = rng_state()
+        if self._last is not None:
+            # the step's force result cannot be recomputed on resume: a
+            # Langevin force holds a friction term in the *half-step*
+            # velocities, which the checkpoint (post full-step) no
+            # longer has - so the result itself is part of the state
+            extra["last_energy"] = np.asarray(float(self._last.energy))
+            extra["last_forces"] = np.asarray(self._last.forces,
+                                              dtype=float)
+            if self._last.peratom is not None:
+                extra["last_peratom"] = np.asarray(self._last.peratom,
+                                                   dtype=float)
+            if self._last.virial is not None:
+                extra["last_virial"] = np.asarray(self._last.virial,
+                                                  dtype=float)
+        ref = self.engine.topology_reference
+        if ref is not None:
+            extra["topology_ref"] = np.asarray(ref, dtype=float)
+        if self.trajectory is not None:
+            offset, nframes = self.trajectory.checkpoint_state()
+            extra["traj_offset"] = np.array([offset, nframes],
+                                            dtype=np.int64)
+        return extra
+
+    def write_checkpoint(self, path: str | Path | None = None) -> Path:
+        """Write a restart checkpoint (system + loop state extras)."""
+        path = Path(path) if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        return write_checkpoint(path, self.system, self.step,
+                                extra=self.checkpoint_extras())
+
+    def restore(self, path: str | Path) -> int:
+        """Resume from a checkpoint; returns the restored step.
+
+        Restores the system state *and* everything the forward path is
+        sensitive to, so a resumed run is bitwise identical to an
+        uninterrupted one on every backend:
+
+        * the step counter (thermo/checkpoint/trajectory cadences and
+          observer phases continue instead of restarting at 0),
+        * the checkpointed step's force result - it enters the next
+          step's first half-kick but cannot be recomputed here, because
+          the Langevin friction term was evaluated at the half-step
+          velocities the checkpoint no longer holds,
+        * the Langevin RNG stream position, so the resumed run's first
+          fresh draw is exactly the draw the uninterrupted run makes,
+        * the neighbor-topology reference positions: one priming
+          evaluation at them rebuilds the pair lists in the identical
+          order the uninterrupted run holds (restoring the box installs
+          a fresh Box object, which every backend detects as a cell
+          change and answers with a rebuild),
+        * the attached trajectory writer's ``(offset, nframes)``, rolled
+          back so frames written after the checkpoint (lost work from a
+          crashed run) are truncated away.
+        """
+        ck = load_checkpoint(path)
+        system = self.system
+        if ck.system.natoms != system.natoms:
+            raise ValueError(
+                f"checkpoint holds {ck.system.natoms} atoms, the engine's "
+                f"system has {system.natoms}")
+        system.positions = ck.system.positions
+        system.velocities = ck.system.velocities
+        system.masses = ck.system.masses
+        system.types = ck.system.types
+        system.box = ck.system.box
+        self.step = ck.step
+        rng = ck.extras.get("thermostat_rng")
+        set_state = getattr(self.thermostat, "set_rng_state", None)
+        if rng is not None and callable(set_state):
+            set_state(rng)
+        ref = ck.extras.get("topology_ref")
+        if ref is not None:
+            self.engine.evaluate(np.asarray(ref, dtype=float))
+        if self.trajectory is not None:
+            off = ck.extras.get("traj_offset")
+            if off is not None:
+                with self.timers.phase("io"):
+                    self.trajectory.truncate_to(int(off[0]), int(off[1]))
+        forces = ck.extras.get("last_forces")
+        if forces is not None:
+            peratom = ck.extras.get("last_peratom")
+            virial = ck.extras.get("last_virial")
+            self._last = EnergyForces(
+                energy=float(ck.extras["last_energy"]),
+                peratom=None if peratom is None
+                else np.asarray(peratom, dtype=float),
+                forces=np.asarray(forces, dtype=float),
+                virial=None if virial is None
+                else np.asarray(virial, dtype=float))
+        else:
+            self._last = None  # legacy checkpoint: re-evaluate on run()
+        self._resumed = True
+        return self.step
+
+    # ------------------------------------------------------------------
     def run(self, nsteps: int, thermo_every: int = 0) -> RunSummary:
         """Advance ``nsteps``; returns the typed performance summary."""
         if nsteps < 0:
             raise ValueError("nsteps must be non-negative")
         t_start = time.perf_counter()
-        result = self._evaluate()
-        if thermo_every:
-            self._record_thermo()
+        resumed, self._resumed = self._resumed, False
+        if resumed and self._last is not None:
+            # the checkpointed force result stands in for the initial
+            # evaluation; recomputing it would also re-draw thermostat
+            # noise and desynchronize the RNG stream
+            result = self._last
+        else:
+            result = self._evaluate()
+        if not resumed:
+            # a resumed run skips the start-of-run outputs: the
+            # uninterrupted run already emitted this step's thermo row,
+            # observer sample and trajectory frame before checkpointing
+            if thermo_every:
+                self._record_thermo()
+            self._observe()
+            if self._trajectory_due():
+                self._write_frame()
         for _ in range(nsteps):
             with self.timers.phase("other"):
                 self.integrator.first_half(self.system, result.forces)
@@ -751,13 +960,21 @@ class MDLoop:
             self.step += 1
             if thermo_every and self.step % thermo_every == 0:
                 self._record_thermo()
+            self._observe()
+            if self._trajectory_due():
+                self._write_frame()
+            # checkpoint last: it must capture the trajectory offset
+            # *after* this step's frame so restore truncates correctly
             if (self.checkpoint_every and self.checkpoint_path
                     and self.step % self.checkpoint_every == 0):
                 with self.timers.phase("io"):
-                    write_checkpoint(self.checkpoint_path, self.system,
-                                     self.step)
+                    self.write_checkpoint()
+        if self.trajectory is not None:
+            with self.timers.phase("io"):
+                self.trajectory.flush()
         wall = time.perf_counter() - t_start
-        return RunSummary.from_run(self.engine, nsteps, wall, result.energy)
+        return RunSummary.from_run(self.engine, nsteps, wall, result.energy,
+                                   writer=self.trajectory)
 
     # ------------------------------------------------------------------
     @property

@@ -8,6 +8,7 @@ integration" - Fig. 4 caption).  Units are LAMMPS *metal* (see
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,6 +70,24 @@ class LangevinThermostat:
         amp = np.sqrt(2.0 * KB * self.temp * m / (dt * self.damp))
         noise = amp[:, None] * self._rng.normal(size=(system.natoms, 3))
         forces += drag + noise
+
+    # ------------------------------------------------------------------
+    # checkpointable RNG state
+    # ------------------------------------------------------------------
+    def rng_state(self) -> np.ndarray:
+        """Current bit-generator state (i.e. *after* the last draw),
+        encoded as a uint8 JSON buffer so it embeds in an ``.npz``
+        checkpoint (and compares clean under ``np.allclose`` in
+        cross-backend tests).  A resumed run's next draw continues the
+        stream exactly where the interrupted run left it."""
+        encoded = json.dumps(self._rng.bit_generator.state,
+                             sort_keys=True).encode("ascii")
+        return np.frombuffer(encoded, dtype=np.uint8).copy()
+
+    def set_rng_state(self, encoded: np.ndarray) -> None:
+        """Restore a state captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = json.loads(
+            np.asarray(encoded, dtype=np.uint8).tobytes().decode("ascii"))
 
 
 @dataclass

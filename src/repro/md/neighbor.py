@@ -205,6 +205,16 @@ class NeighborList:
         self._pairs: NeighborBatch | None = None
         self.nbuilds = 0
 
+    @property
+    def ref_positions(self) -> np.ndarray | None:
+        """Positions of the last topology build (None before the first).
+
+        Checkpointed by :meth:`repro.md.engine.MDLoop.write_checkpoint`:
+        pair *order* depends on the build-time positions, so a bitwise
+        restart must rebuild at exactly these coordinates.
+        """
+        return self._ref_positions
+
     def needs_rebuild(self, positions: np.ndarray) -> bool:
         if self._pairs is None:
             return True

@@ -505,6 +505,10 @@ class ProcessEngine(ForceEngine):
         self._blocks["boxl"].array[:] = self._box_lengths
         ctl[_BOX_EPOCH] = 1
         self._nbuilds_seen = 0
+        #: raw positions of the last worker topology rebuild (workers
+        #: rebuild in lockstep; the parent mirrors the build reference
+        #: so MDLoop checkpoints can replay it on restore)
+        self._ref_raw: np.ndarray | None = None
 
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -622,6 +626,8 @@ class ProcessEngine(ForceEngine):
         rebuilt = int(ctl[_NBUILDS]) != self._nbuilds_seen
         self._nbuilds_seen = int(ctl[_NBUILDS])
         self.ledger.rebuilds = self._nbuilds_seen
+        if rebuilt:
+            self._ref_raw = np.array(positions)
         lo = _RANK0 + _F_GHOST * self.nprocs
         ghosts = int(self._ctl[lo:lo + self.nprocs].sum())
         lo = _RANK0 + _F_REVERSE * self.nprocs
@@ -663,6 +669,10 @@ class ProcessEngine(ForceEngine):
     @property
     def neighbor_builds(self) -> int:
         return self.ledger.rebuilds
+
+    @property
+    def topology_reference(self) -> np.ndarray | None:
+        return None if self._ref_raw is None else self._ref_raw.copy()
 
     def summary_extras(self) -> dict:
         return {

@@ -1,5 +1,6 @@
 """Performance model regenerating the paper's evaluation figures."""
 
+from .filesystem import FileSystemModel
 from .machines import MACHINES, TABLE1_ROWS, MachineSpec
 from .network import AC_NUMBER_DENSITY, SNAP_RCUT, comm_time_per_step, ghost_atoms_per_domain
 from .production import ProductionRun, production_trace
@@ -25,4 +26,5 @@ __all__ = [
     "SNAP_RCUT",
     "ProductionRun",
     "production_trace",
+    "FileSystemModel",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .filesystem import FileSystemModel
 from .scaling import md_performance
 
 __all__ = ["ProductionRun", "production_trace"]
@@ -42,8 +43,15 @@ class ProductionRun:
     checkpoint_interval_steps: int = 50_000
     #: filesystem bandwidth for checkpoints [bytes/s] (Alpine on Summit)
     io_bandwidth: float = 5.0e8
+    #: fixed per-checkpoint overhead [s] (metadata, file open/close)
+    io_latency: float = 0.0
     #: bytes per atom in a binary checkpoint (x, v as doubles + id)
     checkpoint_bytes_per_atom: float = 56.0
+
+    def filesystem(self) -> FileSystemModel:
+        """The write-cost model the trace charges each checkpoint with."""
+        return FileSystemModel(bandwidth=self.io_bandwidth,
+                               latency=self.io_latency)
     #: relative rate gain at full crystallization (load-balance effect)
     bc8_speedup: float = 0.06
     #: multiplicative performance noise (1 sigma)
@@ -59,6 +67,8 @@ def production_trace(run: ProductionRun | None = None,
     steps/node-s), ``segment`` (index), ``temperature``, ``bc8``.
     """
     run = run or ProductionRun()
+    fs = run.filesystem()
+    checkpoint_nbytes = run.natoms * run.checkpoint_bytes_per_atom
     rng = np.random.default_rng(run.seed)
     base = md_performance(run.machine, run.natoms, run.nodes)  # atom-steps/node/s
     steps_per_s = base * run.nodes / run.natoms
@@ -83,7 +93,7 @@ def production_trace(run: ProductionRun | None = None,
             io = 0.0
             if int(t_sim_steps + block) // run.checkpoint_interval_steps > \
                     int(t_sim_steps) // run.checkpoint_interval_steps:
-                io = run.natoms * run.checkpoint_bytes_per_atom / run.io_bandwidth
+                io = fs.write_seconds(checkpoint_nbytes)
             t_wall += dt_block + io
             t_sim_steps += block
             eff_rate = block / (dt_block + io)  # steps/s including I/O

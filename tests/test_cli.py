@@ -46,6 +46,28 @@ class TestCLI:
 class TestRunMD:
     """The ``run-md`` command across execution backends."""
 
+    def test_trajectory_streaming(self, capsys, tmp_path):
+        trj = tmp_path / "run.trj"
+        assert main(["run-md", "--natoms", "32", "--steps", "4",
+                     "--traj", str(trj), "--traj-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory: 3 frames" in out
+        from repro.md import TrajectoryReader
+        with TrajectoryReader(trj) as r:
+            assert list(r.steps()) == [0, 2, 4]
+
+    def test_observers(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "2",
+                     "--observe", "thermo,phase"]) == 0
+        out = capsys.readouterr().out
+        assert "observer ThermoObserver: 3 samples" in out
+        assert "observer PhaseFractionObserver: 3 samples" in out
+
+    def test_unknown_observer_rejected(self, capsys):
+        assert main(["run-md", "--natoms", "32", "--steps", "1",
+                     "--observe", "bogus"]) == 2
+        assert "unknown observer" in capsys.readouterr().out
+
     def test_serial_default(self, capsys):
         assert main(["run-md", "--natoms", "32", "--steps", "2"]) == 0
         out = capsys.readouterr().out

@@ -401,6 +401,59 @@ class TestR5SharedMemory:
 
 
 # ======================================================================
+# R6 - io ownership
+# ======================================================================
+class TestR6IoOwner:
+    def test_raw_open_write_of_checkpoint_fires(self):
+        assert_fires("R6-io-owner", (
+            "def save(ckpt_path, data):\n"
+            "    with open(ckpt_path, 'wb') as fh:\n"
+            "        fh.write(data)\n"))
+
+    def test_savez_of_trajectory_fires(self):
+        assert_fires("R6-io-owner", (
+            "import numpy as np\n"
+            "def save(traj_file, arr):\n"
+            "    np.savez(traj_file, arr=arr)\n"))
+
+    def test_string_literal_path_fires(self):
+        assert_fires("R6-io-owner", (
+            "def save(data):\n"
+            "    with open('out/restart.bin', mode='w') as fh:\n"
+            "        fh.write(data)\n"))
+
+    def test_path_write_bytes_fires(self):
+        assert_fires("R6-io-owner", (
+            "def save(checkpoint, payload):\n"
+            "    checkpoint.write_bytes(payload)\n"))
+
+    def test_read_of_checkpoint_is_silent(self):
+        assert_silent("R6-io-owner", (
+            "def load(ckpt_path):\n"
+            "    with open(ckpt_path, 'rb') as fh:\n"
+            "        return fh.read()\n"))
+
+    def test_unrelated_write_is_silent(self):
+        assert_silent("R6-io-owner", (
+            "def save(log_path, text):\n"
+            "    with open(log_path, 'w') as fh:\n"
+            "        fh.write(text)\n"))
+
+    def test_owner_modules_are_exempt(self):
+        src = (
+            "def save(ckpt_path, data):\n"
+            "    with open(ckpt_path, 'wb') as fh:\n"
+            "        fh.write(data)\n")
+        assert_silent("R6-io-owner", src, path="repro/md/dump.py")
+        assert_silent("R6-io-owner", src, path="repro/md/trajectory.py")
+
+    def test_outside_package_is_silent(self):
+        assert_silent("R6-io-owner", (
+            "def save(traj, data):\n"
+            "    open(traj, 'wb').write(data)\n"), path="tools/convert.py")
+
+
+# ======================================================================
 # suppression pragmas
 # ======================================================================
 class TestPragmas:

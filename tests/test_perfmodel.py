@@ -194,3 +194,56 @@ class TestProductionTrace:
     def test_custom_bc8_curve(self):
         tr = production_trace(bc8_fraction_of_time=lambda f: 0.0)
         assert np.all(tr["bc8"] == 0.0)
+
+
+class TestFileSystemModel:
+    def test_write_seconds_latency_plus_bandwidth(self):
+        from repro.perfmodel import FileSystemModel
+        fs = FileSystemModel(bandwidth=1e9, latency=0.01)
+        assert fs.write_seconds(1e9) == pytest.approx(1.01)
+        assert np.allclose(fs.write_seconds([0, 2e9]), [0.01, 2.01])
+        assert fs.bytes_per_s(1e9) == pytest.approx(1e9 / 1.01)
+
+    def test_validation(self):
+        from repro.perfmodel import FileSystemModel
+        with pytest.raises(ValueError):
+            FileSystemModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            FileSystemModel(bandwidth=1e9, latency=-1.0)
+        with pytest.raises(ValueError):
+            FileSystemModel(bandwidth=1e9).write_seconds(-1)
+
+    def test_fit_recovers_latency_and_bandwidth(self):
+        from repro.perfmodel import FileSystemModel
+        truth = FileSystemModel(bandwidth=2e8, latency=0.005)
+        sizes = np.array([1e6, 1e7, 1e8])
+        fit = FileSystemModel.from_measurement(
+            sizes, truth.write_seconds(sizes))
+        assert fit.bandwidth == pytest.approx(2e8, rel=1e-6)
+        assert fit.latency == pytest.approx(0.005, rel=1e-6)
+
+    def test_single_sample_pins_bandwidth(self):
+        from repro.perfmodel import FileSystemModel
+        fit = FileSystemModel.from_measurement(1e6, 0.01)
+        assert fit.bandwidth == pytest.approx(1e8)
+        assert fit.latency == 0.0
+
+    def test_production_trace_unchanged_at_zero_latency(self):
+        from repro.perfmodel import ProductionRun, production_trace
+        run = ProductionRun(wall_hours=0.5)
+        trace = production_trace(run)
+        legacy_io = run.natoms * run.checkpoint_bytes_per_atom \
+            / run.io_bandwidth
+        assert run.filesystem().write_seconds(
+            run.natoms * run.checkpoint_bytes_per_atom) \
+            == pytest.approx(legacy_io)
+        assert len(trace["perf"]) > 0
+
+    def test_latency_slows_checkpoints(self):
+        from repro.perfmodel import ProductionRun, production_trace
+        base = production_trace(ProductionRun(wall_hours=2.0))
+        slow = production_trace(ProductionRun(wall_hours=2.0,
+                                              io_latency=60.0))
+        # same simulated steps cost more wall time with per-write latency
+        n = min(len(base["wall_hours"]), len(slow["wall_hours"]))
+        assert slow["wall_hours"][n - 1] > base["wall_hours"][n - 1]
