@@ -48,9 +48,10 @@ def test_testsnap_ladder_2j8(benchmark, problem, report):
     assert speed["listing5_adjoint"] > 1.0
     assert speed["vectorized"] > speed["listing5_adjoint"]
     assert speed["vectorized"] > 3.0
-    # the fused/stored-U production rungs sit on top of the ladder
-    assert {"fused", "stored_u", "sharded"} <= set(speed)
+    # the fused/sparse-Y/stored-U production rungs sit on top
+    assert {"fused", "sparse_y", "stored_u", "sharded"} <= set(speed)
     assert speed["fused"] > speed["listing5_adjoint"]
+    assert speed["sparse_y"] > speed["listing5_adjoint"]
     assert speed["stored_u"] > speed["listing5_adjoint"]
 
 

@@ -69,26 +69,43 @@ def test_flops_model_matches_stage_trends(benchmark, report):
     assert k8["yi"] / k4["yi"] > k8["ui"] / k4["ui"]
 
 
-def test_fused_speedup_2j8(benchmark, report):
-    """Fused stored-U hot path vs the pre-fusion kernel, 2J=8, ~2000 atoms.
+def test_fused_speedup_2j8(benchmark, report, tmp_path):
+    """Fused/sparse-Y hot paths vs the pre-fusion kernel, 2J=8, ~2000 atoms.
 
     ``vectorized_chunked`` is the pre-fusion kernel preserved verbatim
     as a ladder rung, run at its shipped default ``chunk=8192``;
     ``stored_u`` is the new default hot path (U cache on, production
-    ``chunk``).  Each contender runs its own shipped configuration.
-    The acceptance bar is 1.5x.
+    ``chunk``); ``sparse_y`` contracts the z-triple stage through the
+    nonzero CG products only; ``tuned`` runs whatever the auto-tuner
+    measured as the winner for this shape (resolved from a tuning DB
+    written in this test).  Acceptance bars: stored_u >= 1.5x over the
+    pre-fusion kernel, and the sparse-Y ``compute_yi`` stage >= 1.3x
+    the fused stage throughput.
     """
     import gc
 
+    from repro.core.flops import yi_contraction_model
     from repro.core.variants import with_params
+    from repro.tuning import TuningDB, tune
 
     snap, n, nbr = _problem(8, natoms=2000)
     seed_snap = with_params(snap, chunk=8192)
+    # tune on a smaller probe in the same (natoms, density) shape
+    # buckets as the 2000-atom measurement, then resolve auto params
+    # against the freshly written DB
+    db = TuningDB(tmp_path / "bench_tuning.json")
+    tune(db, twojmax=8, natoms=1500, repeats=1, chunks=(4096, 8192))
+    tuned_snap = with_params(snap, chunk="auto", store_u="auto",
+                             y_mode="auto")
+    decision = tuned_snap.resolve_tuning(natoms=n, npairs=nbr.npairs, db=db)
+    assert decision.source == "db", "bench tuner wrote no usable DB entry"
     evaluators = {
         "vectorized_chunked":
             lambda: run_variant("vectorized_chunked", seed_snap, n, nbr),
         "fused": with_params(snap, store_u="never"),
+        "sparse_y": with_params(snap, store_u="never", y_mode="sparse"),
         "stored_u": with_params(snap, store_u="always"),
+        "tuned": tuned_snap,
     }
 
     # interleaved best-of-2: the pre-fusion kernel's timing is dominated
@@ -114,11 +131,15 @@ def test_fused_speedup_2j8(benchmark, report):
     benchmark.pedantic(evaluators["stored_u"].compute, args=(n, nbr),
                        rounds=1, iterations=1)
 
+    yi_model = yi_contraction_model(8)
     record = make_snap_record(
         problem={"twojmax": 8, "natoms": n, "npairs": nbr.npairs,
-                 "neighbors_per_atom": nbr.npairs / n},
+                 "neighbors_per_atom": nbr.npairs / n,
+                 "cg_density": yi_model["cg_density"],
+                 "yi_theoretical_speedup": yi_model["theoretical_speedup"]},
         seconds=seconds, natoms=n, reference="vectorized_chunked",
         stage_timings=stages)
+    record["variants"]["tuned"]["config"] = decision.describe()
     out = write_snap_record(Path(__file__).resolve().parent.parent
                             / "BENCH_snap.json", record)
 
@@ -128,9 +149,16 @@ def test_fused_speedup_2j8(benchmark, report):
     for name, t in seconds.items():
         sp = seconds["vectorized_chunked"] / t
         report(f"  {name:20s} {t:8.2f} s   {n / t:10.0f} atoms/s   {sp:5.2f}x")
+    yi_speedup = stages["fused"]["compute_yi"] / stages["sparse_y"]["compute_yi"]
+    report(f"  compute_yi sparse vs dense: {yi_speedup:.2f}x measured, "
+           f"{yi_model['theoretical_speedup']:.2f}x per-triple nnz model "
+           f"(CG density {yi_model['cg_density']:.3f})")
+    report(f"  tuned config: {decision.describe()}")
     report(f"  record written to {out}")
     speedup = seconds["vectorized_chunked"] / seconds["stored_u"]
     assert speedup >= 1.5, f"stored_u speedup {speedup:.2f}x below 1.5x bar"
+    assert yi_speedup >= 1.3, \
+        f"sparse_y compute_yi {yi_speedup:.2f}x below 1.3x bar"
 
 
 @pytest.mark.parametrize("tj", [4, 8])

@@ -9,12 +9,21 @@ used by SNAP (``2J <= 14`` in the paper's benchmarks).
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from functools import lru_cache
 from math import factorial, sqrt
 
 import numpy as np
 
-__all__ = ["clebsch_gordan", "cg_tensor"]
+__all__ = ["clebsch_gordan", "cg_tensor", "cg_sparse", "SparseCGTriple"]
+
+#: serializes cache-miss builds of the (lru-cached) CG tensors and sparse
+#: index structures: shard/process workers may touch these lazily, and a
+#: concurrent first call must not duplicate the (non-trivial) build work.
+#: SNAP.__init__ additionally primes both caches eagerly for every triple
+#: it uses, so worker pools normally only ever see cache hits.
+_CACHE_LOCK = threading.Lock()  # guarded-by: _CACHE_LOCK
 
 
 def _f(n2: int) -> int:
@@ -79,7 +88,7 @@ def clebsch_gordan(j1: int, m1: int, j2: int, m2: int, j: int, m: int) -> float:
 
 
 @lru_cache(maxsize=None)
-def _cg_tensor_cached(j1: int, j2: int, j: int) -> np.ndarray:
+def _cg_tensor_build(j1: int, j2: int, j: int) -> np.ndarray:
     h = np.zeros((j1 + 1, j2 + 1, j + 1))
     shift = (j1 + j2 - j) // 2
     for ma1 in range(j1 + 1):
@@ -101,4 +110,101 @@ def cg_tensor(j1: int, j2: int, j: int) -> np.ndarray:
     ``H[ma1, ma2, ma] = <j1 m1 j2 m2 | j m>`` with ``m = m1 + m2``.
     The returned array is cached and read-only.
     """
-    return _cg_tensor_cached(j1, j2, j)
+    with _CACHE_LOCK:
+        return _cg_tensor_build(j1, j2, j)
+
+
+# Backwards-compatible alias for the raw (unlocked) cached builder; kept
+# because tests and profiling poke at the lru_cache statistics directly.
+_cg_tensor_cached = _cg_tensor_build
+
+
+@dataclass(frozen=True)
+class SparseCGTriple:
+    """Flattened sparse index structure for one ``(j1, j2, j)`` z-triple.
+
+    The dense contraction computes, for every atom and every half-plane
+    output element ``(ma, mb)`` with ``mb <= j/2``::
+
+        z[ma, mb] = sum_{ma1+ma2=ma+shift} sum_{mb1+mb2=mb+shift}
+                    H[ma1, ma2, ma] * H[mb1, mb2, mb]
+                    * u1[ma1, mb1] * u2[ma2, mb2]
+
+    Selection rules make ``H`` sparse, so only the nonzero products are
+    enumerated here, CSR-style: entry ``k`` multiplies flat u-layer
+    elements ``idx1[k]`` (into layer ``j1``, index ``ma1*(j1+1)+mb1``)
+    and ``idx2[k]`` (into layer ``j2``) with real weight ``value[k]``,
+    and accumulates into half-plane output ``out_index[seg]`` where
+    ``seg`` is the segment containing ``k``.  Entries are sorted by
+    ``(out, idx1, idx2)`` so a single ``np.add.reduceat`` over
+    ``seg_starts`` performs the whole deterministic segment reduction.
+
+    ``nnz`` / ``dense_size`` give the achieved sparsity for the FLOP
+    model and the benchmark record (``dense_size`` counts the half-plane
+    inner products the dense GEMM path evaluates for this triple).
+    """
+
+    idx1: np.ndarray
+    idx2: np.ndarray
+    value: np.ndarray
+    out_index: np.ndarray
+    seg_starts: np.ndarray
+    nnz: int
+    dense_size: int
+    shape: tuple[int, int]
+
+
+@lru_cache(maxsize=None)
+def _cg_sparse_build(j1: int, j2: int, j: int) -> SparseCGTriple:
+    h = _cg_tensor_build(j1, j2, j)
+    ncol = j // 2 + 1
+    # Nonzero (ma1, ma2, ma) entries of H; the mb factor reuses the same
+    # tensor restricted to the half plane mb <= j/2.
+    a1, a2, am = np.nonzero(h)
+    bmask = np.nonzero(h[:, :, :ncol])
+    b1, b2, bm = bmask
+    na, nb = a1.size, b1.size
+    # Outer product of the two nonzero lists: every (A, B) combination
+    # contributes one multiply-accumulate.
+    A = np.repeat(np.arange(na), nb)
+    B = np.tile(np.arange(nb), na)
+    ma1, ma2, ma = a1[A], a2[A], am[A]
+    mb1, mb2, mb = b1[B], b2[B], bm[B]
+    value = h[ma1, ma2, ma] * h[mb1, mb2, mb]
+    out = ma * ncol + mb
+    idx1 = ma1 * (j1 + 1) + mb1
+    idx2 = ma2 * (j2 + 1) + mb2
+    order = np.lexsort((idx2, idx1, out))
+    out, idx1, idx2, value = out[order], idx1[order], idx2[order], value[order]
+    boundary = np.empty(out.size, dtype=bool)
+    if out.size:
+        boundary[0] = True
+        np.not_equal(out[1:], out[:-1], out=boundary[1:])
+    seg_starts = np.nonzero(boundary)[0]
+    out_index = out[seg_starts]
+    dense = (j1 + 1) * (j2 + 1) * (j + 1) * ncol
+    triple = SparseCGTriple(
+        idx1=np.ascontiguousarray(idx1, dtype=np.intp),
+        idx2=np.ascontiguousarray(idx2, dtype=np.intp),
+        value=np.ascontiguousarray(value),
+        out_index=np.ascontiguousarray(out_index, dtype=np.intp),
+        seg_starts=np.ascontiguousarray(seg_starts, dtype=np.intp),
+        nnz=int(value.size),
+        dense_size=int(dense),
+        shape=(j + 1, ncol),
+    )
+    for arr in (triple.idx1, triple.idx2, triple.value,
+                triple.out_index, triple.seg_starts):
+        arr.setflags(write=False)
+    return triple
+
+
+def cg_sparse(j1: int, j2: int, j: int) -> SparseCGTriple:
+    """Sparse CG index structure for a (doubled) triple (cached, read-only).
+
+    See :class:`SparseCGTriple`.  Built once per triple alongside
+    :func:`cg_tensor`; `SNAP.__init__` primes this cache eagerly so
+    shard/process workers never race a first build.
+    """
+    with _CACHE_LOCK:
+        return _cg_sparse_build(j1, j2, j)

@@ -23,7 +23,8 @@ from functools import lru_cache
 
 from .indexing import SNAPIndex
 
-__all__ = ["kernel_flops_per_atom", "flops_per_atom_step", "PAPER_FLOPS_PER_ATOM_STEP"]
+__all__ = ["kernel_flops_per_atom", "flops_per_atom_step",
+           "yi_contraction_model", "PAPER_FLOPS_PER_ATOM_STEP"]
 
 #: 50.0e15 / (6.21e6 * 4650) - the paper's own accounting.
 PAPER_FLOPS_PER_ATOM_STEP = 50.0e15 / (6.21e6 * 4650)
@@ -66,6 +67,39 @@ def kernel_flops_per_atom(twojmax: int, nnbor: float) -> dict[str, float]:
         "yi": c * raw["yi"],
         "dui": c * raw["dui"] * nnbor,
         "deidrj": c * raw["deidrj"] * nnbor,
+    }
+
+
+@lru_cache(maxsize=None)
+def yi_contraction_model(twojmax: int) -> dict[str, float]:
+    """Dense vs sparse cost of the Y (z-triple) contraction per atom.
+
+    The dense path evaluates every half-plane inner product of the
+    Clebsch-Gordan blocks (``SparseCGTriple.dense_size`` terms per
+    triple); the sparse path touches only the nonzero CG products
+    (``nnz``).  ``cg_density`` is the measured nonzero fraction and
+    ``theoretical_speedup`` its reciprocal - the per-triple FLOP model
+    the ``sparse_y`` rung is judged against.  The shipped kernel can
+    beat this number: its beta-folded plan also deduplicates symmetric
+    ``(i1, i2)`` products and skips zero-coefficient triples, neither
+    of which the per-triple count models.
+    """
+    from .cg import cg_sparse
+
+    idx = SNAPIndex(twojmax)
+    nnz = 0
+    dense = 0
+    for (j1, j2, j) in idx.z_triples:
+        sp = cg_sparse(j1, j2, j)
+        nnz += sp.nnz
+        dense += sp.dense_size
+    return {
+        "dense_flops": _CMA * dense,
+        "sparse_flops": _CMA * nnz,
+        "nnz": float(nnz),
+        "dense_terms": float(dense),
+        "cg_density": nnz / dense,
+        "theoretical_speedup": dense / nnz,
     }
 
 

@@ -27,12 +27,13 @@ The per-kernel wall times of the latest evaluation are kept in
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .cg import cg_tensor
+from .cg import cg_sparse, cg_tensor
 from .indexing import SNAPIndex
 from .switching import sfac_dsfac
 from .wigner import (cayley_klein, compute_du_layers_half_lm,
@@ -64,6 +65,17 @@ class SNAPParams:
     pre-fusion kernel shipped with 8192, which at 2J=8 pushes the
     gradient scratch past typical last-level caches.
 
+    ``y_mode`` selects the z-triple contraction of the adjoint pass:
+    ``"dense"`` runs the three-GEMM path, ``"sparse"`` contracts only
+    the nonzero Clebsch-Gordan products through the precomputed index
+    lists of :func:`repro.core.cg.cg_sparse` (identical forces, fewer
+    FLOPs - the selection rules zero most of the dense blocks).
+
+    ``chunk`` and ``y_mode`` (and ``store_u``) accept ``"auto"``: the
+    value is then pinned once per evaluator from the self-tuning policy
+    (``repro.tuning``) - from a persisted tuning-DB entry when one
+    matches the problem shape, otherwise from conservative defaults.
+
     ``check_finite`` (debug sanitizer, default off) validates every
     kernel-stage output for NaN/Inf on exit and raises
     :class:`repro.lint.sanitizers.NumericsError` naming the offending
@@ -76,22 +88,37 @@ class SNAPParams:
     rmin0: float = 0.0
     wself: float = 1.0
     switch: bool = True
-    chunk: int = 4096
+    chunk: int | str = 4096
     store_u: str = "auto"
     store_u_budget_mb: float = 256.0
     check_finite: bool = False
+    y_mode: str = "dense"
 
     def __post_init__(self) -> None:
         if self.rcut <= self.rmin0:
             raise ValueError("rcut must exceed rmin0")
         if self.twojmax < 0:
             raise ValueError("twojmax must be non-negative")
-        if self.chunk < 1:
-            raise ValueError("chunk must be positive")
+        if self.chunk != "auto" and (not isinstance(self.chunk, int)
+                                     or self.chunk < 1):
+            raise ValueError("chunk must be a positive integer or 'auto'")
         if self.store_u not in ("auto", "always", "never"):
             raise ValueError("store_u must be 'auto', 'always' or 'never'")
         if self.store_u_budget_mb <= 0:
             raise ValueError("store_u_budget_mb must be positive")
+        if self.y_mode not in ("auto", "dense", "sparse"):
+            raise ValueError("y_mode must be 'auto', 'dense' or 'sparse'")
+
+    @property
+    def has_auto(self) -> bool:
+        """True if any kernel-policy field still needs tuning resolution.
+
+        ``store_u == "auto"`` is excluded: it has its own budget
+        heuristic (:meth:`SNAP._resolve_store_u`) and never blocks an
+        evaluation, whereas an unresolved ``chunk``/``y_mode`` must be
+        pinned before the kernel can run.
+        """
+        return self.chunk == "auto" or self.y_mode == "auto"
 
 
 @dataclass
@@ -215,11 +242,28 @@ class SNAP:
             quadratic = 0.5 * (quadratic + quadratic.T)  # symmetrize
         self.quadratic = quadratic
         self._diag = self.index.diagonal_indices()
+        # _build_triples touches cg_tensor/cg_sparse for every triple,
+        # priming both lru caches eagerly so shard/process workers only
+        # ever see cache hits (no lazy first-touch from a pool thread).
         self._triple_cache = self._build_triples()
         self._half_slices, self._nu_half, self._expand_phase = \
             self._build_half_layout()
+        # Columns of each U layer the force pass actually consumes (the
+        # half plane, plus for odd j < twojmax the one extra column the
+        # dU recursion of layer j+1 reads); this is the store_u cache
+        # layout and the basis of its byte estimate.
+        self._store_ncols = [
+            j // 2 + 1 + (1 if j % 2 and j < params.twojmax else 0)
+            for j in range(params.twojmax + 1)]
+        self._nu_store = sum((j + 1) * nc
+                             for j, nc in enumerate(self._store_ncols))
         self.last_timings: dict[str, float] = {}
         self.last_store_u: bool = False
+        #: TunedConfig once "auto" params have been pinned (None before).
+        self.tuning_decision = None  # guarded-by: _tuning_lock
+        self._tuning_lock = threading.Lock()
+        #: lazily built beta-folded plan of the sparse-CG Y pass
+        self._y_plan: dict | None = None  # guarded-by: _tuning_lock
         self.bzero_shift = self._isolated_b() if bzero else np.zeros(self.index.nb)
 
     # ------------------------------------------------------------------
@@ -273,6 +317,10 @@ class SNAP:
                 "b_index": idx.b_index.get((j1, j2, j)) if j >= j1 else None,
                 "y_b_index": bidx,
                 "y_factor": factor,
+                # sparse index lists over the nonzero CG products; the
+                # y_mode="sparse" contraction path (and the FLOP model's
+                # density report) read these
+                "sparse": cg_sparse(j1, j2, j),
             })
         return triples
 
@@ -306,6 +354,18 @@ class SNAP:
     # ------------------------------------------------------------------
     # pipeline stages
     # ------------------------------------------------------------------
+    @property
+    def store_u_bytes_per_pair(self) -> int:
+        """Cache footprint per pair of the ``store_u`` path, in bytes.
+
+        Computed from the layout actually cached: the ``_store_ncols``
+        column subset of every U layer (``_nu_store`` complex values -
+        the half plane plus the odd-layer spill column, *not* the full
+        ``nu`` plane), Cayley-Klein a/b/da/db (8 complex) and
+        sfac/dsfac (2 float).
+        """
+        return (self._nu_store + 8) * 16 + 16
+
     def _resolve_store_u(self, npairs: int) -> bool:
         """Decide store-vs-recompute for a pair list of size ``npairs``."""
         mode = self.params.store_u
@@ -313,10 +373,19 @@ class SNAP:
             return True
         if mode == "never":
             return False
-        # per pair: flat U layers (nu complex), Cayley-Klein a/b/da/db
-        # (8 complex), sfac/dsfac (2 float)
-        bytes_per_pair = (self.index.nu + 8) * 16 + 16
-        return npairs * bytes_per_pair <= self.params.store_u_budget_mb * 2**20
+        return (npairs * self.store_u_bytes_per_pair
+                <= self.params.store_u_budget_mb * 2**20)
+
+    def _slice_u_store(self, u_lm: list[np.ndarray]) -> list[np.ndarray]:
+        """Restrict full U layers to the columns the force pass reads.
+
+        Both the cached (``store_u``) and the recomputed force paths go
+        through this, so the contraction inputs have identical memory
+        layout either way and stored-vs-recomputed forces stay bitwise
+        identical.
+        """
+        return [np.ascontiguousarray(layer[:, :nc])
+                for layer, nc in zip(u_lm, self._store_ncols)]
 
     def compute_utot(self, natoms: int, nbr: NeighborBatch,
                      cache: list | None = None,
@@ -366,7 +435,7 @@ class SNAP:
             elif idx.size:
                 np.add.at(utot, idx, w.T)
             if cache is not None:
-                cache.append((ck, u_lm, sfac, dsfac))
+                cache.append((ck, self._slice_u_store(u_lm), sfac, dsfac))
             lo = sl.stop
         return utot
 
@@ -436,22 +505,41 @@ class SNAP:
         y_out = np.zeros((n, self.index.nu), dtype=np.complex128) if want_y else None
         y_half = (np.zeros((n, self._nu_half), dtype=np.complex128)
                   if want_y else None)
+        sparse_y = self.params.y_mode == "sparse"
         for t in self._triple_cache:
             j1, j2, j = t["j1"], t["j2"], t["j"]
-            u1 = self._layer_view(utot, j1)
-            u2 = self._layer_view(utot, j2)
-            # Z[a,i,jj] = H[p,q,i] H[r,s,jj] U1[a,p,r] U2[a,q,s] evaluated
-            # as three GEMMs (see _build_triples for the reshaped H);
-            # only the left-half columns jj = mb <= j/2 are produced, the
-            # conjugate half follows from the layer symmetry.
             d1, d2, d = j1 + 1, j2 + 1, j + 1
             ncol = t["ncol"]
-            t1 = np.tensordot(u1, t["hm_left"], axes=([1], [0]))  # (a,r,q*i)
-            t1 = t1.reshape(n, d1, d2, d).transpose(0, 1, 3, 2)   # (a,r,i,q)
-            t2 = np.matmul(t1.reshape(n, d1 * d, d2), u2)         # (a,r*i,s)
-            t2 = t2.reshape(n, d1, d, d2).transpose(0, 2, 1, 3)   # (a,i,r,s)
-            z = np.matmul(np.ascontiguousarray(t2.reshape(n, d, d1 * d2)),
-                          t["hm_right_half"])                     # (a,i,jj<=j/2)
+            if sparse_y:
+                # Sparse-CG contraction: gather the u-layer factor pairs
+                # of every nonzero CG product, weight, and segment-reduce
+                # into the half-plane outputs (entries pre-sorted by
+                # output, see cg_sparse) - same Z, ~5x fewer products
+                # than the dense GEMMs at 2J=8.
+                sp = t["sparse"]
+                u1f = utot[:, self.index.layer_slice(j1)]
+                u2f = utot[:, self.index.layer_slice(j2)]
+                prod = u1f[:, sp.idx1]
+                prod *= sp.value
+                prod *= u2f[:, sp.idx2]
+                zsum = np.add.reduceat(prod, sp.seg_starts, axis=1)
+                z = np.zeros((n, d * ncol), dtype=np.complex128)
+                z[:, sp.out_index] = zsum
+                z = z.reshape(n, d, ncol)                         # (a,i,jj<=j/2)
+            else:
+                u1 = self._layer_view(utot, j1)
+                u2 = self._layer_view(utot, j2)
+                # Z[a,i,jj] = H[p,q,i] H[r,s,jj] U1[a,p,r] U2[a,q,s]
+                # evaluated as three GEMMs (see _build_triples for the
+                # reshaped H); only the left-half columns jj = mb <= j/2
+                # are produced, the conjugate half follows from the
+                # layer symmetry.
+                t1 = np.tensordot(u1, t["hm_left"], axes=([1], [0]))  # (a,r,q*i)
+                t1 = t1.reshape(n, d1, d2, d).transpose(0, 1, 3, 2)   # (a,r,i,q)
+                t2 = np.matmul(t1.reshape(n, d1 * d, d2), u2)         # (a,r*i,s)
+                t2 = t2.reshape(n, d1, d, d2).transpose(0, 2, 1, 3)   # (a,i,r,s)
+                z = np.matmul(np.ascontiguousarray(t2.reshape(n, d, d1 * d2)),
+                              t["hm_right_half"])                 # (a,i,jj<=j/2)
             if want_b and t["b_index"] is not None:
                 uj = self._layer_view(utot, j)[:, :, :ncol]
                 b_out[:, t["b_index"]] = np.einsum(
@@ -467,21 +555,160 @@ class SNAP:
                     if betaj != 0.0:
                         y_half[:, hsl] += betaj * z.reshape(n, -1)
         if want_y:
-            # expand the accumulated half columns to the full-plane Y via
-            # Y[j-ma, j-mb] = (-1)^(ma+mb) conj(Y[ma, mb])
-            for j in range(self.params.twojmax + 1):
-                ncol = j // 2 + 1
-                zh = y_half[:, self._half_slices[j]].reshape(n, j + 1, ncol)
-                full = np.empty((n, j + 1, j + 1), dtype=np.complex128)
-                full[:, :, :ncol] = zh
-                if ncol <= j:
-                    src = zh[:, ::-1, j - ncol::-1]
-                    full[:, :, ncol:] = self._expand_phase[j] * np.conj(src)
-                y_out[:, self.index.layer_slice(j)] = full.reshape(n, -1)
+            self._expand_y_half(y_half, y_out)
         return b_out, y_out
+
+    def _expand_y_half(self, y_half: np.ndarray,
+                       y_out: np.ndarray | None = None) -> np.ndarray:
+        """Expand packed half-plane columns to the full-plane ``Y`` via
+        ``Y[j-ma, j-mb] = (-1)^(ma+mb) conj(Y[ma, mb])``."""
+        n = y_half.shape[0]
+        if y_out is None:
+            y_out = np.empty((n, self.index.nu), dtype=np.complex128)
+        for j in range(self.params.twojmax + 1):
+            ncol = j // 2 + 1
+            zh = y_half[:, self._half_slices[j]].reshape(n, j + 1, ncol)
+            full = np.empty((n, j + 1, j + 1), dtype=np.complex128)
+            full[:, :, :ncol] = zh
+            if ncol <= j:
+                src = zh[:, ::-1, j - ncol::-1]
+                full[:, :, ncol:] = self._expand_phase[j] * np.conj(src)
+            y_out[:, self.index.layer_slice(j)] = full.reshape(n, -1)
+        return y_out
+
+    def resolve_tuning(self, natoms: int = 0, npairs: int = 0,
+                       nprocs: int = 1, db=None):
+        """Pin any ``"auto"`` kernel-policy fields to concrete values.
+
+        Resolution is sticky and happens at most once per evaluator
+        (first caller wins, under a lock): shard and process workers
+        share this object (or pickled copies of it), so the bound
+        ``chunk`` grid and ``y_mode`` must be identical everywhere for
+        the bitwise-reproducibility contracts to hold.  ``db`` is an
+        optional :class:`repro.tuning.TuningDB` consulted for a
+        measured winner matching the problem shape; without one (or on
+        a miss) conservative defaults are used.  Returns the
+        :class:`repro.tuning.TunedConfig` decision (also kept in
+        :attr:`tuning_decision`).
+        """
+        with self._tuning_lock:
+            if self.tuning_decision is not None:
+                return self.tuning_decision
+            from ..tuning.policy import resolve_params
+            params, decision = resolve_params(
+                self.params, natoms=natoms, npairs=npairs, nprocs=nprocs,
+                db=db)
+            self.params = params
+            self.tuning_decision = decision
+            return decision
+
+    # Atoms per block of the sparse-CG Y pass: bounds the gathered
+    # unique-product scratch (2 x nuniq x block complex, ~32 MB at 2J=8)
+    # so it stays cache-resident through the gather/multiply/reduce trio.
+    _Y_SPARSE_BLOCK = 64
+
+    def _get_y_plan(self) -> dict:
+        """Beta-folded global plan of the sparse-CG Y pass (built once).
+
+        Concatenates the per-triple :func:`repro.core.cg.cg_sparse`
+        entry lists of every triple with a nonzero adjoint weight
+        ``y_factor * beta[b]``, mapping u-layer indices into the flat
+        ``utot`` row and outputs into the packed half-plane ``Y``
+        layout.  Because both product factors come from the *same*
+        ``utot`` row, ``(i1, i2)`` and ``(i2, i1)`` are the same product:
+        pairs are canonicalized and deduplicated (~2.6x fewer gathered
+        products at 2J=8), and the weighted entry->output reduction is
+        stored as a sparse matrix (scipy CSR when available, otherwise
+        sorted ``np.add.reduceat`` segments).
+        """
+        with self._tuning_lock:
+            if self._y_plan is not None:
+                return self._y_plan
+            idx = self.index
+            i1s, i2s, vals, outs = [], [], [], []
+            for t in self._triple_cache:
+                betaj = t["y_factor"] * self.beta[1 + t["y_b_index"]]
+                if betaj == 0.0:
+                    continue
+                sp = t["sparse"]
+                i1s.append(idx.layer_slice(t["j1"]).start + sp.idx1)
+                i2s.append(idx.layer_slice(t["j2"]).start + sp.idx2)
+                vals.append(betaj * sp.value)
+                counts = np.diff(np.r_[sp.seg_starts, sp.nnz])
+                outs.append(self._half_slices[t["j"]].start
+                            + np.repeat(sp.out_index, counts))
+            if not vals:
+                self._y_plan = {"nuniq": 0}
+                return self._y_plan
+            i1 = np.concatenate(i1s)
+            i2 = np.concatenate(i2s)
+            val = np.concatenate(vals)
+            out = np.concatenate(outs)
+            pair_lo = np.minimum(i1, i2)
+            pair_hi = np.maximum(i1, i2)
+            upair, col = np.unique(pair_lo * idx.nu + pair_hi,
+                                   return_inverse=True)
+            plan: dict = {
+                "nuniq": int(upair.size),
+                "pi1": np.ascontiguousarray(upair // idx.nu, dtype=np.intp),
+                "pi2": np.ascontiguousarray(upair % idx.nu, dtype=np.intp),
+                "mat": None,
+            }
+            try:
+                from scipy import sparse as sps
+            except ImportError:  # pragma: no cover - scipy is optional
+                sps = None
+            if sps is not None:
+                m = sps.csr_matrix((val, (out, col)),
+                                   shape=(self._nu_half, upair.size))
+                m.sum_duplicates()
+                plan["mat"] = m.astype(np.complex128)
+            else:
+                order = np.lexsort((col, out))
+                out, col, val = out[order], col[order], val[order]
+                seg = np.flatnonzero(np.r_[True, np.diff(out) > 0])
+                plan.update(val=np.ascontiguousarray(val)[:, None],
+                            col=np.ascontiguousarray(col, dtype=np.intp),
+                            seg=seg, rows=out[seg])
+            self._y_plan = plan
+            return plan
+
+    def _sparse_y_half(self, utot: np.ndarray) -> np.ndarray:
+        """Packed half-plane ``Y`` via the global sparse-CG plan.
+
+        Per atom block: gather the two u factors of every unique product
+        pair (layer-major, atom axis innermost), multiply once, and push
+        the products through the weighted sparse entry->output map.
+        """
+        plan = self._get_y_plan()
+        n = utot.shape[0]
+        y_half = np.zeros((n, self._nu_half), dtype=np.complex128)
+        if not plan["nuniq"]:
+            return y_half
+        blk = min(n, self._Y_SPARSE_BLOCK)
+        g1 = np.empty((plan["nuniq"], blk), dtype=np.complex128)
+        g2 = np.empty((plan["nuniq"], blk), dtype=np.complex128)
+        for lo in range(0, n, blk):
+            sl = slice(lo, min(lo + blk, n))
+            ut = np.ascontiguousarray(utot[sl].T)
+            m = ut.shape[1]
+            a = g1[:, :m]
+            b = g2[:, :m]
+            np.take(ut, plan["pi1"], axis=0, out=a)
+            np.take(ut, plan["pi2"], axis=0, out=b)
+            a *= b
+            if plan["mat"] is not None:
+                y_half[sl] = (plan["mat"] @ a).T
+            else:
+                prod = plan["val"] * a[plan["col"]]
+                zs = np.add.reduceat(prod, plan["seg"], axis=0)
+                y_half[sl][:, plan["rows"]] = zs.T
+        return y_half
 
     def compute_descriptors(self, natoms: int, nbr: NeighborBatch) -> np.ndarray:
         """Bispectrum components ``B`` per atom, shape ``(natoms, nb)``."""
+        if self.params.has_auto:
+            self.resolve_tuning(natoms=natoms, npairs=nbr.npairs)
         utot = self.compute_utot(natoms, nbr)
         b, _ = self._compute_b_y(utot, want_y=False)
         return b - self.bzero_shift
@@ -556,7 +783,7 @@ class SNAP:
             else:
                 rcut, wj, r_eff = self._pair_params(nbr, sl)
                 ck = cayley_klein(rij, r_eff, rcut, p.rfac0, p.rmin0)
-                u_lm = compute_u_layers_lm(ck, p.twojmax)
+                u_lm = self._slice_u_store(compute_u_layers_lm(ck, p.twojmax))
                 sfac, dsfac = sfac_dsfac(r, rcut, p.rmin0, wj=wj,
                                          switch=p.switch)
             du_lm = compute_du_layers_half_lm(ck, p.twojmax, u_lm,
@@ -623,8 +850,21 @@ class SNAP:
         With a ``quadratic`` coefficient matrix set, the model is
         ``E_i = beta0 + beta . B_i + 0.5 B_i^T Q B_i`` and ``Y`` is built
         with the per-atom effective coefficients ``beta + Q B_i``.
+
+        With ``y_mode="sparse"`` (linear model only), ``Y`` comes from
+        the global sparse-CG plan and the per-atom energy from the
+        adjoint identity ``sum_j Re(Y_j : conj(U_j)) = 3 beta . B``
+        (every canonical triple enters ``Y`` under its role permutations
+        with multiplicity weights that total 3): no bispectrum pass at
+        all on the force path.
         """
-        if self.quadratic is None:
+        if self.quadratic is None and self.params.y_mode == "sparse":
+            y = self._expand_y_half(self._sparse_y_half(utot))
+            r = (np.einsum("au,au->a", y.real, utot.real)
+                 + np.einsum("au,au->a", y.imag, utot.imag))
+            peratom = (self.beta[0] + r / 3.0
+                       - self.bzero_shift @ self.beta[1:])
+        elif self.quadratic is None:
             b, y = self._compute_b_y(utot)
             bc = b - self.bzero_shift
             peratom = self.beta[0] + bc @ self.beta[1:]
@@ -645,6 +885,8 @@ class SNAP:
         the force pass or recomputed per chunk (store-vs-recompute);
         :attr:`last_store_u` records the decision taken.
         """
+        if self.params.has_auto:
+            self.resolve_tuning(natoms=natoms, npairs=nbr.npairs)
         t0 = time.perf_counter()
         sane = self.params.check_finite
         if sane:

@@ -30,6 +30,14 @@ benchmark reports grind time relative to the baseline:
     layer-major Wigner recursions, whole-vector BLAS-style force
     contraction and segment-reduced (``np.add.reduceat``) accumulation
     on both scatter sides, still recomputing ``U`` in the force pass.
+``sparse_y``
+    The fused hot path with ``y_mode="sparse"``: the z-triple stage
+    contracts only the nonzero Clebsch-Gordan products through the
+    precomputed index lists of :func:`repro.core.cg.cg_sparse`
+    (beta-folded, pair-deduplicated gather -> weighted multiply ->
+    segment reduce) instead of dense GEMMs - the selection rules zero
+    most of the dense blocks, so the dominant ``compute_yi`` stage
+    sheds the wasted FLOPs.
 ``stored_u``
     The production hot path with ``store_u="always"``: per-pair ``U``
     layers and switching factors cached from stage 1 and reused by the
@@ -221,6 +229,11 @@ def _fused(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
     return with_params(snap, store_u="never").compute(natoms, nbr)
 
 
+def _sparse_y(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
+    return with_params(snap, store_u="never",
+                       y_mode="sparse").compute(natoms, nbr)
+
+
 def _stored_u(snap: SNAP, natoms: int, nbr: NeighborBatch) -> EnergyForces:
     return with_params(snap, store_u="always").compute(natoms, nbr)
 
@@ -243,6 +256,7 @@ VARIANTS = {
     "vectorized": _vectorized,
     "vectorized_chunked": _vectorized_chunked,
     "fused": _fused,
+    "sparse_y": _sparse_y,
     "stored_u": _stored_u,
     "sharded": _sharded,
 }

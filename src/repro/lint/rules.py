@@ -1,6 +1,6 @@
 """Repo-aware static-analysis rules for the SNAP/MD codebase.
 
-Six rule families, mirroring the conventions the concurrent hot path
+Seven rule families, mirroring the conventions the concurrent hot path
 relies on (see the module docstrings of :mod:`repro.parallel.shards`,
 :mod:`repro.parallel.distributed` and
 :mod:`repro.parallel.process_engine`):
@@ -41,6 +41,13 @@ R6 *io ownership*
     recovery).  A raw ``open(..., "w")``/``np.savez`` against a
     restart-critical path anywhere else bypasses the atomic-replace
     and CRC conventions those modules exist to centralize.
+
+R7 *tuning-DB ownership*
+    The kernel-policy tuning DB has one owner -
+    :mod:`repro.tuning.db` (versioned schema, host fingerprint, atomic
+    tmp+``os.replace`` write, corrupt-tolerant read).  A raw write
+    against a tuning-DB-named path anywhere else can tear the file a
+    concurrent tuner is replacing or skip the schema envelope.
 
 Every rule reports :class:`Finding` objects; suppression happens in the
 engine via ``# repro-lint: disable=<id> -- <why>`` pragmas.
@@ -102,13 +109,13 @@ HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py",
 #: where the guarded-by convention is enforced
 THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py",
                 "repro/parallel/process_engine.py", "repro/md/engine.py",
-                "repro/md/trajectory.py")
+                "repro/md/trajectory.py", "repro/tuning/")
 #: where raw perf_counter() loop accounting is banned outside the
 #: sanctioned owners (PhaseTimers and the shared MDLoop): the drivers
 #: and the engine layer, which must route timing through PhaseTimers
 TIMER_SCOPE = ("repro/md/simulation.py", "repro/md/engine.py",
                "repro/parallel/distributed.py",
-               "repro/parallel/process_engine.py")
+               "repro/parallel/process_engine.py", "repro/tuning/")
 #: where the shared-memory helper/lifecycle rules bite
 SHM_SCOPE = ("repro/parallel/",)
 #: where the R6 io-ownership rule bites (the whole package)
@@ -117,6 +124,10 @@ IO_SCOPE = ("repro/",)
 _IO_OWNER_PATHS = ("md/dump.py", "md/trajectory.py")
 #: path-expression fragments that mark a file as restart-critical
 _IO_NAME_HINTS = ("traj", "ckpt", "checkpoint", "restart")
+#: the one module allowed to write the kernel-policy tuning DB raw
+_TUNING_OWNER_PATH = "tuning/db.py"
+#: path-expression fragments that mark a file as a tuning DB
+_TUNING_NAME_HINTS = ("tuning",)
 #: the one module allowed to touch multiprocessing.shared_memory raw
 _SHM_HELPER_PATH = "parallel/shm.py"
 #: classes allowed to call time.perf_counter() directly inside TIMER_SCOPE
@@ -1033,6 +1044,33 @@ def _restart_critical(text: str) -> bool:
     return any(hint in text for hint in _IO_NAME_HINTS)
 
 
+def _raw_write_target(node: ast.Call) -> str | None:
+    """Words describing the path of a raw file write, or ``None``.
+
+    Recognizes ``open(..., "w"/"a"/"x"/"+")``, ``np.savez*``/``np.save``
+    and ``Path.write_bytes``/``write_text``; the returned string joins
+    the callable name with the identifiers/literals in the path
+    expression so ownership rules can hint-match against it.
+    """
+    name = _call_name(node) or ""
+    tail = _tail(name)
+    target = name
+    if tail == "open":
+        mode = node.args[1] if len(node.args) >= 2 else None
+        for kwa in node.keywords:
+            if kwa.arg == "mode":
+                mode = kwa.value
+        if not (isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and any(c in mode.value for c in "wax+")):
+            return None
+    elif tail not in _WRITE_TAILS:
+        return None
+    if node.args:
+        target += " " + _expr_words(node.args[0])
+    return target
+
+
 def _check_r6(ctx: FileContext) -> list[Finding]:
     """Confine raw writes of checkpoint/trajectory files to their owners.
 
@@ -1050,31 +1088,43 @@ def _check_r6(ctx: FileContext) -> list[Finding]:
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = _call_name(node) or ""
-        tail = _tail(name)
-        is_write = False
-        target = name
-        if tail == "open":
-            mode = node.args[1] if len(node.args) >= 2 else None
-            for kwa in node.keywords:
-                if kwa.arg == "mode":
-                    mode = kwa.value
-            if isinstance(mode, ast.Constant) and isinstance(mode.value, str) \
-                    and any(c in mode.value for c in "wax+"):
-                is_write = True
-                if node.args:
-                    target += " " + _expr_words(node.args[0])
-        elif tail in _WRITE_TAILS:
-            is_write = True
-            if node.args:
-                target += " " + _expr_words(node.args[0])
-        if is_write and _restart_critical(target):
+        target = _raw_write_target(node)
+        if target is not None and _restart_critical(target):
             findings.append(Finding(
                 "R6-io-owner", ctx.path, node.lineno, node.col_offset,
                 "raw write of a checkpoint/trajectory path outside "
                 "repro.md.dump / repro.md.trajectory; route it through "
                 "write_checkpoint or TrajectoryFile so atomic replace "
                 "and torn-frame recovery apply"))
+    return findings
+
+
+# ======================================================================
+# R7 - tuning-DB ownership
+# ======================================================================
+def _check_r7(ctx: FileContext) -> list[Finding]:
+    """Confine raw writes of tuning-DB files to :mod:`repro.tuning.db`.
+
+    ``TuningDB._write`` is the single place that knows the versioned
+    schema envelope, stamps the host fingerprint and replaces the file
+    atomically; a raw ``open(..., "w")``/``write_text`` against a path
+    whose expression mentions ``tuning`` anywhere else would bypass all
+    three (and can tear the file under a concurrent tuner).
+    """
+    findings: list[Finding] = []
+    if ctx.path.endswith(_TUNING_OWNER_PATH):
+        return findings
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _raw_write_target(node)
+        if target is not None and \
+                any(h in target.lower() for h in _TUNING_NAME_HINTS):
+            findings.append(Finding(
+                "R7-tuning-db-owner", ctx.path, node.lineno, node.col_offset,
+                "raw write of a tuning-DB path outside repro.tuning.db; "
+                "route it through TuningDB.record so the schema "
+                "envelope, host fingerprint and atomic replace apply"))
     return findings
 
 
@@ -1124,4 +1174,7 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     Rule("R6-io-owner",
          "raw write of a restart-critical file outside its owner module",
          IO_SCOPE, _check_r6),
+    Rule("R7-tuning-db-owner",
+         "raw write of a tuning-DB file outside repro.tuning.db",
+         IO_SCOPE, _check_r7),
 ]}

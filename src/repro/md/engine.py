@@ -993,12 +993,35 @@ class MDLoop:
 # ======================================================================
 # factory
 # ======================================================================
+def _bind_tuning(system: ParticleSystem, potential: Potential,
+                 nprocs: int, db) -> None:
+    """Eagerly pin ``"auto"`` SNAP kernel-policy fields from a tuning DB.
+
+    The neighbor list does not exist yet at engine-build time, so the
+    pair count entering the shape key is estimated from the cutoff
+    sphere and the system density - the same bucketing the lazy
+    first-evaluation binding would land in.
+    """
+    snap = getattr(potential, "snap", None)
+    if snap is None or not snap.params.has_auto:
+        return
+    from ..tuning import TuningDB
+
+    rc = potential.cutoff
+    per_atom = (4.0 / 3.0 * np.pi * rc ** 3
+                * system.natoms / max(system.box.volume, 1e-300))
+    snap.resolve_tuning(natoms=system.natoms,
+                        npairs=int(system.natoms * per_atom),
+                        nprocs=nprocs, db=TuningDB(db))
+
+
 def build_engine(system: ParticleSystem, potential: Potential, *,
                  backend: str | None = None, nranks: int = 1, nworkers: int = 1,
                  nprocs: int | None = None, halo_mode: str = "1x",
                  skin: float = 0.3, shard_workers: int = 1,
                  shard_backend: str = "thread", check_finite: bool = False,
-                 race_check: bool = False) -> ForceEngine:
+                 race_check: bool = False,
+                 tuning_db: str | Path | None = None) -> ForceEngine:
     """Select a force backend from the requested execution layout.
 
     ``backend`` picks the engine family explicitly: ``"serial"``,
@@ -1011,6 +1034,11 @@ def build_engine(system: ParticleSystem, potential: Potential, *,
     shards within a rank), and ``nprocs`` set yields a
     :class:`~repro.parallel.process_engine.ProcessEngine`.  Every
     returned engine drives the same :class:`MDLoop`.
+
+    ``tuning_db`` names a :class:`repro.tuning.TuningDB` file consulted
+    for any ``SNAPParams`` fields left at ``"auto"``; they are pinned
+    here, before workers exist.  Without it, auto fields resolve lazily
+    on first evaluation against the default DB location.
     """
     if backend is None:
         if nprocs is not None and nprocs > 1:
@@ -1019,6 +1047,10 @@ def build_engine(system: ParticleSystem, potential: Potential, *,
             backend = "distributed"
         else:
             backend = "serial"
+    if tuning_db is not None:
+        _bind_tuning(system, potential,
+                     nprocs=(nprocs or 2) if backend == "process" else 1,
+                     db=tuning_db)
     if backend == "serial":
         return SerialEngine(system, potential, skin=skin,
                             nworkers=max(nworkers, shard_workers),

@@ -246,6 +246,11 @@ class ShardedSNAP:
     def _compute_locked(self, natoms: int,
                         nbr: NeighborBatch) -> EnergyForces:
         snap = self.snap
+        if snap.params.has_auto:
+            # bind before shard_bounds reads params.chunk: "auto" has no
+            # chunk grid yet, and the pinned values must be shared by
+            # every shard for the bitwise-reproducibility contract
+            snap.resolve_tuning(natoms=natoms, npairs=nbr.npairs)
         sane = snap.params.check_finite
         if nbr.j_idx is None:
             raise ValueError("NeighborBatch.j_idx is required for forces")

@@ -1,0 +1,18 @@
+"""Self-tuning kernel policy: auto-tuner + persistent tuning DB.
+
+``SNAPParams`` fields left at ``"auto"`` are pinned once per evaluator
+by :func:`resolve_params` - from a measured winner in the on-disk
+:class:`TuningDB` when one matches the problem's :func:`shape_key`,
+otherwise from conservative defaults.  :func:`tune` (CLI:
+``repro tune``) populates the DB.
+"""
+
+from .autotune import (CHUNK_CANDIDATES, STORE_U_CANDIDATES,
+                       Y_MODE_CANDIDATES, TuneResult, tune)
+from .db import DB_ENV_VAR, SCHEMA_VERSION, TuningDB, default_db_path
+from .policy import TunedConfig, resolve_params, shape_key
+
+__all__ = ["TuningDB", "default_db_path", "SCHEMA_VERSION", "DB_ENV_VAR",
+           "TunedConfig", "resolve_params", "shape_key",
+           "tune", "TuneResult", "CHUNK_CANDIDATES",
+           "STORE_U_CANDIDATES", "Y_MODE_CANDIDATES"]

@@ -59,8 +59,7 @@ class TestStoreUParity:
     def test_auto_resolution(self):
         snap = SNAP(SNAPParams(twojmax=8, rcut=3.0, store_u="auto",
                                store_u_budget_mb=1.0))
-        bytes_per_pair = (snap.index.nu + 8) * 16 + 16
-        fits = int(1.0 * 2**20 / bytes_per_pair)
+        fits = int(1.0 * 2**20 / snap.store_u_bytes_per_pair)
         assert snap._resolve_store_u(fits)
         assert not snap._resolve_store_u(fits + 1)
         assert SNAP(SNAPParams(twojmax=8, rcut=3.0,
@@ -68,11 +67,30 @@ class TestStoreUParity:
         assert not SNAP(SNAPParams(twojmax=8, rcut=3.0,
                                    store_u="never"))._resolve_store_u(1)
 
+    def test_byte_estimate_matches_cached_layout(self, rng, cluster):
+        # the auto budget must count what the cache actually holds: the
+        # half-plane column subset of each U layer, not the full plane
+        pos, nbr = cluster
+        for twojmax in (4, 6, 8):
+            snap = _snap(rng, twojmax, store_u="always", chunk=nbr.npairs)
+            cache = []
+            snap.compute_utot(pos.shape[0], nbr, cache=cache)
+            (ck, u_store, sfac, dsfac), = cache
+            u_bytes = sum(layer.nbytes for layer in u_store)
+            ck_bytes = sum(arr.nbytes for arr in (ck.a, ck.b, ck.da, ck.db))
+            measured = (u_bytes + ck_bytes + sfac.nbytes + dsfac.nbytes)
+            assert measured == snap.store_u_bytes_per_pair * nbr.npairs
+            assert snap._nu_store < snap.index.nu  # strictly tighter
+
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError, match="store_u"):
             SNAPParams(twojmax=4, rcut=3.0, store_u="sometimes")
         with pytest.raises(ValueError):
             SNAPParams(twojmax=4, rcut=3.0, store_u_budget_mb=0.0)
+        with pytest.raises(ValueError, match="y_mode"):
+            SNAPParams(twojmax=4, rcut=3.0, y_mode="csr")
+        with pytest.raises(ValueError, match="chunk"):
+            SNAPParams(twojmax=4, rcut=3.0, chunk="big")
 
     def test_cache_requires_chunk_alignment(self, rng, cluster):
         pos, nbr = cluster
@@ -82,6 +100,109 @@ class TestStoreUParity:
         _, y = snap._peratom_and_y(utot)
         with pytest.raises(ValueError, match="chunk-aligned"):
             snap._compute_dedr(nbr, y, cache=cache, start=3)
+
+
+class TestSparseY:
+    """The sparse-CG Y contraction (``y_mode="sparse"``) vs the dense GEMMs."""
+
+    @pytest.mark.parametrize("twojmax", [4, 6, 8])
+    @pytest.mark.parametrize("store_u", ["always", "never", "auto"])
+    def test_matches_fused(self, rng, cluster, twojmax, store_u):
+        pos, nbr = cluster
+        n = pos.shape[0]
+        beta = rng.normal(size=SNAPIndex(twojmax).ncoeff)
+        out = {}
+        for y_mode in ("dense", "sparse"):
+            snap = SNAP(SNAPParams(twojmax=twojmax, rcut=3.0, chunk=32,
+                                   store_u=store_u, y_mode=y_mode), beta=beta)
+            out[y_mode] = snap.compute(n, nbr)
+        a, b = out["dense"], out["sparse"]
+        assert np.allclose(b.forces, a.forces, atol=1e-12, rtol=1e-12)
+        assert b.energy == pytest.approx(a.energy, rel=1e-12, abs=1e-12)
+        assert np.allclose(b.peratom, a.peratom, atol=1e-12, rtol=1e-12)
+        assert np.allclose(b.virial, a.virial, atol=1e-11, rtol=1e-11)
+
+    def test_variant_rung_registered(self, rng, cluster):
+        from repro.core.variants import VARIANTS, run_variant
+
+        names = list(VARIANTS)
+        assert names.index("sparse_y") == names.index("fused") + 1
+        pos, nbr = cluster
+        snap = _snap(rng, 6)
+        a = run_variant("fused", snap, pos.shape[0], nbr)
+        b = run_variant("sparse_y", snap, pos.shape[0], nbr)
+        assert np.allclose(b.forces, a.forces, atol=1e-12, rtol=1e-12)
+
+    def test_sparse_descriptors_and_quadratic(self, rng, cluster):
+        # the per-triple sparse z branch also feeds the descriptor and
+        # quadratic paths (no adjoint shortcut there) - both must agree
+        pos, nbr = cluster
+        n = pos.shape[0]
+        nb = SNAPIndex(4).nb
+        beta = rng.normal(size=nb + 1)
+        quad = 0.1 * rng.normal(size=(nb, nb))
+        out = {}
+        for y_mode in ("dense", "sparse"):
+            snap = SNAP(SNAPParams(twojmax=4, rcut=3.0, chunk=32,
+                                   y_mode=y_mode), beta=beta, quadratic=quad)
+            out[y_mode] = (snap.compute_descriptors(n, nbr),
+                           snap.compute(n, nbr))
+        assert np.allclose(out["sparse"][0], out["dense"][0],
+                           atol=1e-12, rtol=1e-12)
+        assert np.allclose(out["sparse"][1].forces, out["dense"][1].forces,
+                           atol=1e-12, rtol=1e-12)
+
+    def test_sparse_empty_neighbor_list(self, rng):
+        snap = _snap(rng, 4, y_mode="sparse")
+        empty = NeighborBatch(i_idx=np.zeros(0, dtype=np.intp),
+                              rij=np.zeros((0, 3)), r=np.zeros(0),
+                              j_idx=np.zeros(0, dtype=np.intp))
+        out = snap.compute(3, empty)
+        assert np.all(out.forces == 0.0)
+        assert np.isfinite(out.energy)
+
+    def test_sparse_cg_structure(self):
+        # entries enumerate exactly the nonzero CG products of the
+        # half-plane tensor, sorted by output with segment boundaries
+        from repro.core.cg import cg_sparse, cg_tensor
+
+        for (j1, j2, j) in ((2, 2, 4), (4, 2, 2), (6, 4, 8)):
+            sp = cg_sparse(j1, j2, j)
+            h = cg_tensor(j1, j2, j)
+            ncol = j // 2 + 1
+            nnz_expected = np.count_nonzero(h) * \
+                np.count_nonzero(h[:, :, :ncol])
+            assert sp.nnz == nnz_expected
+            assert sp.dense_size == (j1 + 1) * (j2 + 1) * (j + 1) * ncol
+            assert sp.shape == (j + 1, ncol)
+            # reconstruct one output element by brute force
+            out_full = np.repeat(sp.out_index,
+                                 np.diff(np.r_[sp.seg_starts, sp.nnz]))
+            target = sp.out_index[0]
+            ma, mb = divmod(int(target), ncol)
+            acc = 0.0
+            for k in np.nonzero(out_full == target)[0]:
+                ma1, mb1 = divmod(int(sp.idx1[k]), j1 + 1)
+                ma2, mb2 = divmod(int(sp.idx2[k]), j2 + 1)
+                assert sp.value[k] == pytest.approx(
+                    h[ma1, ma2, ma] * h[mb1, mb2, mb])
+                acc += sp.value[k]
+            assert np.isfinite(acc)
+            # sorted by output index, deterministic reduction order
+            assert np.all(np.diff(sp.out_index) > 0)
+            assert not sp.value.flags.writeable
+
+    def test_yi_flop_model(self):
+        from repro.core.flops import yi_contraction_model
+
+        m = yi_contraction_model(8)
+        assert 0.0 < m["cg_density"] < 1.0
+        assert m["sparse_flops"] < m["dense_flops"]
+        assert m["theoretical_speedup"] == pytest.approx(
+            1.0 / m["cg_density"])
+        # selection rules bite harder as J grows
+        assert yi_contraction_model(8)["cg_density"] < \
+            yi_contraction_model(2)["cg_density"]
 
 
 class TestPairOverrides:
