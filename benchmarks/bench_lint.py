@@ -1,0 +1,55 @@
+"""Cold vs cached wall time of the whole-program lint.
+
+The tier-1 gate runs :func:`repro.lint.run_lint` over the full tree on
+every test session, so its cached path has a hard wall-time budget
+(< 2 s in tests/test_lint.py).  This bench measures the cold run (every
+file parsed, all per-file rules plus the R8/R9/R10 call-graph pass) and
+the fully-cached rerun, and writes both to ``BENCH_lint.json`` at the
+repo root via :mod:`repro.core.benchrecord`.
+"""
+
+from pathlib import Path
+
+from repro.core.benchrecord import make_record, write_record
+from repro.lint import run_lint
+
+REPO = Path(__file__).resolve().parents[1]
+TREE = [REPO / "src", REPO / "tests", REPO / "benchmarks"]
+
+
+def test_lint_cold_vs_cached(benchmark, report, tmp_path):
+    cache = tmp_path / "lint-cache.json"
+
+    cold = run_lint(TREE, cache_path=cache)
+    warm = run_lint(TREE, cache_path=cache)
+    benchmark.pedantic(run_lint, args=(TREE,),
+                       kwargs={"cache_path": cache},
+                       rounds=3, iterations=1)
+
+    # the tree the gate protects must be clean along both paths
+    assert cold.findings == []
+    assert warm.findings == []
+    assert warm.stats.cache_hits == warm.stats.files
+    assert warm.stats.project_cache_hit
+
+    nfiles = cold.stats.files
+    seconds = {"cold": cold.stats.wall_s, "warm": warm.stats.wall_s}
+    record = make_record(
+        "whole_program_lint",
+        problem={"files": nfiles,
+                 "paths": [p.name for p in TREE],
+                 "project_rules": ["R8-lockset", "R9-engine-contract",
+                                   "R10-determinism-taint"]},
+        seconds=seconds,
+        natoms=nfiles,  # files stand in for atoms: files-per-second
+        reference="cold")
+    out = write_record(REPO / "BENCH_lint.json", record)
+
+    report("whole-program lint, cold vs cached "
+           f"({nfiles} files, per-file rules + R8/R9/R10):")
+    for name, t in seconds.items():
+        report(f"  {name:6s} {t * 1e3:9.1f} ms   "
+               f"{nfiles / t:8.0f} files/s")
+    report(f"  speedup: {seconds['cold'] / seconds['warm']:.0f}x, "
+           f"hit rate {warm.stats.cache_hit_rate:.0%}")
+    report(f"  record written to {out}")

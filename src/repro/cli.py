@@ -254,6 +254,14 @@ def _observer_samples(obs) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """First-class ``repro lint``: forwards to the lint CLI (cached
+    whole-program pass, --format/--baseline/--stats)."""
+    from .lint.__main__ import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SC'21 SNAP MD reproduction toolkit")
@@ -298,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="tuning DB path (implies auto kernel params; "
                         "default: $REPRO_TUNING_DB or ~/.cache/repro)")
     p.set_defaults(fn=_cmd_run_md)
+    p = sub.add_parser(
+        "lint", help="static analysis (R1-R10, cached; see "
+                     "python -m repro.lint --help)")
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to python -m repro.lint")
+    p.set_defaults(fn=_cmd_lint)
     p = sub.add_parser("tune")
     p.add_argument("--twojmax", type=int, default=8)
     p.add_argument("--natoms", type=int, default=256)

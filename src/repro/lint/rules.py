@@ -66,16 +66,27 @@ __all__ = ["Finding", "Rule", "RULES", "FileContext", "HOT_PATH_SCOPE",
 
 @dataclass(frozen=True)
 class Finding:
-    """One static-analysis diagnostic."""
+    """One static-analysis diagnostic.
+
+    ``trace`` is populated by the whole-program analyses
+    (:mod:`repro.lint.flow`): for a cross-file finding it names the
+    call path (entry point -> ... -> write/sink site) that witnesses
+    the violation, so the report shows both the convicted line and how
+    execution reaches it.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    trace: tuple[str, ...] = ()
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.trace:
+            head += "\n    via " + " -> ".join(self.trace)
+        return head
 
 
 @dataclass
@@ -95,7 +106,11 @@ class Rule:
     summary: str
     #: path substrings the rule applies to (None = every file)
     scope: tuple[str, ...] | None
-    check: Callable[[FileContext], list[Finding]]
+    check: Callable[[FileContext], list[Finding]] | None
+    #: whole-program rules (R8/R9/R10) run once per *project* on the
+    #: shared call graph (repro.lint.flow), not per file; their
+    #: ``check`` is None and ``scope`` only gates reporting paths
+    project: bool = False
 
     def applies_to(self, path: str) -> bool:
         if self.scope is None:
@@ -1177,4 +1192,15 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     Rule("R7-tuning-db-owner",
          "raw write of a tuning-DB file outside repro.tuning.db",
          IO_SCOPE, _check_r7),
+    # whole-program analyses (repro.lint.flow) - run once per project
+    # over the shared call graph, not per file
+    Rule("R8-lockset",
+         "guarded-by attribute write reachable on a lock-free call path",
+         None, None, project=True),
+    Rule("R9-engine-contract",
+         "ForceEngine implementation drifts from the engine protocol",
+         None, None, project=True),
+    Rule("R10-determinism-taint",
+         "unordered/wall-clock taint flows into a hot-path accumulation",
+         None, None, project=True),
 ]}

@@ -19,7 +19,40 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
-__all__ = ["PhaseTimers"]
+__all__ = ["PhaseTimers", "TOP_PHASES", "SUB_PHASES",
+           "DYNAMIC_SUB_PARENTS", "known_phase"]
+
+# ----------------------------------------------------------------------
+# canonical phase registry
+# ----------------------------------------------------------------------
+# Every backend reports its time through the same small phase
+# vocabulary so the Fig. 4 breakdown bench can compare them; a backend
+# that invents a phase string silently falls out of every cross-backend
+# table.  The whole-program lint pass (rule R9-phase-name in
+# repro.lint.flow) statically extracts these tuples and validates each
+# string handed to ``timers.phase(...)`` / ``timers.add(...)`` against
+# them, so a typo is a lint finding instead of a missing bench column.
+# New phases are added HERE first, then used.
+
+#: top-level phases (the Fig. 4 categories plus engine bookkeeping)
+TOP_PHASES = ("neigh", "force", "comm", "other", "io", "analysis")
+
+#: fixed dotted sub-phases the drivers report
+SUB_PHASES = ("comm.halo_build", "comm.forward", "comm.reverse",
+              "neigh.rebuild", "neigh.refresh")
+
+#: parents whose sub-phase names are dynamic (per-kernel stage keys,
+#: e.g. ``force.compute_yi`` from ``Potential.last_timings``)
+DYNAMIC_SUB_PARENTS = ("force",)
+
+
+def known_phase(name: str) -> bool:
+    """Is ``name`` a registered phase (or a dynamic sub-phase)?"""
+    if "." not in name:
+        return name in TOP_PHASES
+    if name in SUB_PHASES:
+        return True
+    return name.split(".", 1)[0] in DYNAMIC_SUB_PARENTS
 
 
 class PhaseTimers:

@@ -175,14 +175,18 @@ class ShardedSNAP:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent); re-arms a degraded pool."""
-        if self._pool is not None:
+        # detach under the lock (a concurrent compute() may be mid-
+        # evaluation on the pool), then shut down outside it so a
+        # blocking shutdown cannot stall other threads on the lock
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._degraded = False
+        if pool is not None:
             if self.backend == "thread":
-                self._pool.shutdown()
+                pool.shutdown()
             else:
-                self._pool.terminate()
-                self._pool.join()
-            self._pool = None
-        self._degraded = False
+                pool.terminate()
+                pool.join()
 
     def __enter__(self) -> "ShardedSNAP":
         return self
