@@ -1,18 +1,46 @@
-"""E12 (extension) - ParSplice benchmark tables (easy and hard cases).
+"""E12/E20 (extension) - ParSplice benchmark tables and segment service.
 
 The lecture's nanoparticle campaigns: at 300 K (rare events) ParSplice
 achieves near-linear scaling with 99% of generated segments spliced; as
 temperature rises, transitions multiply, new states appear, and the
 speedup collapses toward plain MD.  We reproduce both regimes on a
 superbasin landscape and print the same columns the tables report.
+
+The service benchmark (E20) measures the *engine-session* economics of
+real-MD segments: a short segment rebuilt from a cold engine every time
+(worker forks, shared memory, neighbor priming per segment) versus the
+same segments served from one persistent session via
+:meth:`~repro.md.engine.ForceEngine.bind`, plus the spliced-trajectory
+throughput of the batched :class:`repro.parsplice.SegmentScheduler`
+against the session count.  Results go to ``BENCH_parsplice.json`` at
+the repo root (:mod:`repro.core.benchrecord` format).  On a 1-CPU
+container concurrent sessions time-slice one core, so the worker sweep
+reads against ``host.cpu_count``; the reuse-vs-rebuild ratio is about
+setup amortization, not parallelism, and holds regardless.
 """
 
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.parsplice import arrhenius_msm, nanoparticle_landscape, run_parsplice
+from repro.core.benchrecord import make_record, write_record
+from repro.parsplice import (MDSegmentGenerator, arrhenius_msm,
+                             nanoparticle_landscape, run_parsplice,
+                             run_parsplice_service)
+from repro.potentials import LennardJones
+from repro.structures import lattice_system
 
 NWORKERS = 32
 QUANTA = 30
+
+#: real-MD service benchmark shape: short segments (the regime where
+#: engine setup dominates a cold rebuild)
+SEG_STEPS = 20
+SEG_COUNT = 6
+SERVE_SESSIONS = (1, 2, 4)
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_parsplice.json"
 
 
 @pytest.fixture(scope="module")
@@ -84,3 +112,104 @@ def test_parsplice_benchmark(benchmark, landscape):
     benchmark.pedantic(run_parsplice, args=(msm,),
                        kwargs=dict(nworkers=16, quanta=10, t_segment=0.2, seed=3),
                        rounds=2, iterations=1)
+
+
+# ======================================================================
+# E20: engine sessions + batched segment service (real MD)
+# ======================================================================
+def _state_library(nstates=3):
+    base = lattice_system("fcc", a=2.5, reps=(2, 2, 2))
+    rng = np.random.default_rng(3)
+    states = []
+    for i in range(nstates):
+        s = base.copy()
+        if i:
+            s.positions = s.positions + rng.normal(scale=0.02,
+                                                   size=s.positions.shape)
+        states.append(s)
+    return states, LennardJones(epsilon=0.2, sigma=2.2, cutoff=3.0)
+
+
+def test_service_record(benchmark, report):
+    """Session reuse vs rebuild-per-segment, and the session-count sweep.
+
+    The reuse variant builds ONE process-backend engine session and
+    serves every segment over it via bind(); the rebuild variant pays a
+    full engine construction (worker forks + shared-memory blocks +
+    neighbor priming) per segment - the one-shot lifecycle this PR's
+    refactor retires.  Both produce bitwise-identical segments (the
+    bind contract), so the ratio is pure setup amortization; on
+    <= 100-step segments reuse must win by at least 2x.
+    """
+    states, pot = _state_library()
+    natoms = states[0].natoms
+    engine_kw = dict(backend="process", nprocs=2)
+    jobs = [(k % len(states), k) for k in range(SEG_COUNT)]
+
+    t0 = time.perf_counter()
+    rebuilt = []
+    for state, seed in jobs:
+        with MDSegmentGenerator(states, pot, nsteps=SEG_STEPS,
+                                seed=7, **engine_kw) as gen:
+            rebuilt.append(gen.generate(state, seed=seed))
+    t_rebuild = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with MDSegmentGenerator(states, pot, nsteps=SEG_STEPS,
+                            seed=7, **engine_kw) as gen:
+        reused = [gen.generate(state, seed=seed) for state, seed in jobs]
+    t_reuse = time.perf_counter() - t0
+
+    # bind contract: a reused session replays the rebuilt segments bitwise
+    assert [s.fingerprint for s in reused] == \
+        [s.fingerprint for s in rebuilt]
+    # acceptance: session reuse >= 2x over rebuild-per-segment
+    assert t_rebuild >= 2.0 * t_reuse, \
+        f"expected >=2x from session reuse, got {t_rebuild / t_reuse:.2f}x"
+
+    seconds = {"process_rebuild_per_segment": t_rebuild,
+               "process_session_reuse": t_reuse}
+    extras = {
+        "process_rebuild_per_segment": {
+            "engine_builds": SEG_COUNT, "segments": SEG_COUNT},
+        "process_session_reuse": {
+            "engine_builds": 1, "segments": SEG_COUNT,
+            "speedup_from_reuse": t_rebuild / t_reuse},
+    }
+
+    # spliced trajectory throughput vs session count (scheduler service)
+    sweep_rows = []
+    for nw in SERVE_SESSIONS:
+        run = run_parsplice_service(states, pot, nworkers=nw, quanta=3,
+                                    nsteps=SEG_STEPS, seed=5)
+        name = f"serve_{nw}_sessions"
+        seconds[name] = run.wall_s
+        extras[name] = {
+            "sessions": nw,
+            "segments": run.stats.segments_run,
+            "trajectory_ps": run.trajectory_ps,
+            "spliced_ns_per_s": run.spliced_ns_per_s,
+            "reschedules": run.stats.reschedules,
+        }
+        sweep_rows.append((nw, run))
+
+    record = make_record(
+        "parsplice_segment_service",
+        problem={"natoms": natoms, "nstates": len(states),
+                 "segment_steps": SEG_STEPS, "segments": SEG_COUNT,
+                 "potential": "LJ", "engine": "process_2p"},
+        seconds=seconds, natoms=natoms * SEG_STEPS * SEG_COUNT,
+        reference="process_rebuild_per_segment", extras=extras)
+    out_path = write_record(RECORD_PATH, record)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report("")
+    report(f"segment service ({natoms} atoms, {SEG_STEPS}-step segments, "
+           f"process backend):")
+    report(f"  rebuild/segment  {t_rebuild:8.2f} s  ({SEG_COUNT} builds)")
+    report(f"  session reuse    {t_reuse:8.2f} s  (1 build, "
+           f"{t_rebuild / t_reuse:.1f}x)")
+    report("  spliced throughput vs sessions: " + ", ".join(
+        f"{nw}s -> {run.spliced_ns_per_s * 1e6:.2f} us-traj/s"
+        for nw, run in sweep_rows))
+    report(f"recorded -> {out_path.name}")

@@ -22,6 +22,10 @@ Commands
     Measure candidate SNAP kernel configs for a problem shape and
     persist the winner to the on-disk tuning DB; subsequent runs with
     ``"auto"`` params (``run-md --tuning-db``/``--tune``) read it.
+``parsplice-serve``
+    Serve batched real-MD ParSplice segments from a pool of persistent
+    engine sessions (:class:`repro.parsplice.SegmentScheduler`) and
+    print the spliced-trajectory throughput plus per-session reuse.
 """
 
 from __future__ import annotations
@@ -254,6 +258,39 @@ def _observer_samples(obs) -> int:
     return 0
 
 
+def _cmd_parsplice_serve(args) -> int:
+    from .parsplice import run_parsplice_service
+    from .potentials import LennardJones
+    from .structures import random_packed
+
+    density = 0.1
+    cutoff = (26 / (4 / 3 * np.pi * density)) ** (1 / 3)
+    base = random_packed(args.natoms, density=density, seed=1)
+    rng = np.random.default_rng(3)
+    states = []
+    for i in range(args.nstates):
+        s = base.copy()
+        if i:  # distinct metastable templates: jittered copies of the base
+            s.positions += rng.normal(scale=0.02, size=s.positions.shape)
+        states.append(s)
+    pot = LennardJones(epsilon=0.1, sigma=2.0, cutoff=cutoff)
+    engine_kwargs = {}
+    if args.backend is not None:
+        engine_kwargs["backend"] = args.backend
+    if args.nprocs is not None:
+        engine_kwargs["nprocs"] = args.nprocs
+    run = run_parsplice_service(
+        states, pot, nworkers=args.sessions, quanta=args.quanta,
+        nsteps=args.nsteps, dt=args.dt, temperature=args.temp,
+        seed=args.seed, **engine_kwargs)
+    print(run.summary())
+    for i, row in enumerate(run.session_stats):
+        print(f"  session {i} [{row['backend']}]: {row['segments']} segments, "
+              f"{row['binds']} binds, {row['steps']} steps, "
+              f"{row['md_wall_s']:.2f} s MD")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     """First-class ``repro lint``: forwards to the lint CLI (cached
     whole-program pass, --format/--baseline/--stats)."""
@@ -306,6 +343,27 @@ def main(argv: list[str] | None = None) -> int:
                    help="tuning DB path (implies auto kernel params; "
                         "default: $REPRO_TUNING_DB or ~/.cache/repro)")
     p.set_defaults(fn=_cmd_run_md)
+    p = sub.add_parser(
+        "parsplice-serve",
+        help="batched real-MD ParSplice segments over persistent "
+             "engine sessions")
+    p.add_argument("--natoms", type=int, default=64)
+    p.add_argument("--nstates", type=int, default=3,
+                   help="size of the jittered state library")
+    p.add_argument("--sessions", type=int, default=2,
+                   help="persistent engine sessions (concurrent segments)")
+    p.add_argument("--quanta", type=int, default=4,
+                   help="scheduling quanta (one batch per quantum)")
+    p.add_argument("--nsteps", type=int, default=50,
+                   help="MD steps per segment")
+    p.add_argument("--dt", type=float, default=1.0e-3)
+    p.add_argument("--temp", type=float, default=300.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=("serial", "distributed", "process"),
+                   default=None, help="engine backend for every session")
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="worker processes per session (process backend)")
+    p.set_defaults(fn=_cmd_parsplice_serve)
     p = sub.add_parser(
         "lint", help="static analysis (R1-R10, cached; see "
                      "python -m repro.lint --help)")

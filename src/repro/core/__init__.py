@@ -12,9 +12,11 @@ Public entry points:
 
 from .indexing import SNAPIndex, num_bispectrum
 from .io import read_snap_files, write_snap_files
+from .rng import SeedStream
 from .snap import SNAP, EnergyForces, NeighborBatch, SNAPParams
 
 __all__ = [
+    "SeedStream",
     "SNAP",
     "SNAPParams",
     "SNAPIndex",

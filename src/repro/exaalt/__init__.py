@@ -1,6 +1,8 @@
 """EXAALT task-management framework simulator (extension; see DESIGN.md)."""
 
 from .events import EventLoop
-from .framework import ExaaltConfig, ExaaltStats, simulate_exaalt
+from .framework import (ExaaltConfig, ExaaltStats, calibrated_config,
+                        simulate_exaalt)
 
-__all__ = ["EventLoop", "ExaaltConfig", "ExaaltStats", "simulate_exaalt"]
+__all__ = ["EventLoop", "ExaaltConfig", "ExaaltStats", "simulate_exaalt",
+           "calibrated_config"]

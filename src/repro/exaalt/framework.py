@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..core.rng import SeedStream
 from .events import EventLoop
 
 __all__ = ["ExaaltConfig", "ExaaltStats", "simulate_exaalt",
@@ -77,16 +76,20 @@ class ExaaltStats:
                 f"WM util {self.wm_utilization * 100:.1f}%")
 
 
-def calibrated_config(system, potential, t_segment: float = 1.0,
-                      dt: float = 1.0e-3, **kwargs) -> ExaaltConfig:
+def calibrated_config(system, potential=None, t_segment: float = 1.0,
+                      dt: float = 1.0e-3, engine=None,
+                      **kwargs) -> ExaaltConfig:
     """An :class:`ExaaltConfig` with a *measured* task duration.
 
     EXAALT tasks are MD segments; instead of guessing
-    ``task_duration_mean``, run one ``t_segment``-ps segment through
-    :func:`repro.md.build_engine` and the shared
-    :class:`repro.md.MDLoop` on this host and use the measured wall
-    time.  Engine selection kwargs (``nranks``, ``nworkers``, ...) are
-    split off; the rest forward to :class:`ExaaltConfig`.
+    ``task_duration_mean``, run one ``t_segment``-ps segment through the
+    shared :class:`repro.md.MDLoop` on this host and use the measured
+    wall time.  By default a fresh engine is built and torn down (engine
+    selection kwargs - ``nranks``, ``nworkers``, ... - are split off;
+    the rest forward to :class:`ExaaltConfig`); passing a live
+    :class:`repro.md.EngineSession` (or bare engine) via ``engine``
+    calibrates over it instead and leaves it open, so the task duration
+    reflects the session fleet's true marginal segment cost.
     """
     from ..md.engine import MDLoop, build_engine
 
@@ -94,8 +97,17 @@ def calibrated_config(system, potential, t_segment: float = 1.0,
                    "shard_workers", "shard_backend")
     engine_kwargs = {k: kwargs.pop(k) for k in engine_keys if k in kwargs}
     nsteps = max(1, int(round(t_segment / dt)))
-    with build_engine(system, potential, **engine_kwargs) as engine:
-        summary = MDLoop(engine, dt=dt).run(nsteps)
+    if engine is not None:
+        if hasattr(engine, "loop"):  # an EngineSession: count its stats
+            summary = engine.loop(system, dt=dt).run(nsteps)
+        else:
+            engine.bind(system)
+            summary = MDLoop(engine, dt=dt).run(nsteps)
+    else:
+        if potential is None:
+            raise ValueError("potential is required without an engine")
+        with build_engine(system, potential, **engine_kwargs) as eng:
+            summary = MDLoop(eng, dt=dt).run(nsteps)
     return ExaaltConfig(task_duration_mean=summary.wall_s, **kwargs)
 
 
@@ -104,7 +116,8 @@ def simulate_exaalt(config: ExaaltConfig | None = None) -> ExaaltStats:
     cfg = config or ExaaltConfig()
     if cfg.n_workers < 1 or cfg.workers_per_tm < 1:
         raise ValueError("worker counts must be positive")
-    rng = np.random.default_rng(cfg.seed)
+    # SeedStream at the root realizes the historical default_rng stream
+    rng = SeedStream(cfg.seed).generator()
     loop = EventLoop()
     n_tms = max(1, cfg.n_workers // cfg.workers_per_tm)
 

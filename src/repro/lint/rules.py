@@ -124,7 +124,8 @@ HOT_PATH_SCOPE = ("repro/parallel/", "repro/core/snap.py",
 #: where the guarded-by convention is enforced
 THREAD_SCOPE = ("repro/parallel/distributed.py", "repro/parallel/shards.py",
                 "repro/parallel/process_engine.py", "repro/md/engine.py",
-                "repro/md/trajectory.py", "repro/tuning/")
+                "repro/md/trajectory.py", "repro/tuning/",
+                "repro/parsplice/service.py")
 #: where raw perf_counter() loop accounting is banned outside the
 #: sanctioned owners (PhaseTimers and the shared MDLoop): the drivers
 #: and the engine layer, which must route timing through PhaseTimers

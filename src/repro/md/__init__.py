@@ -3,8 +3,9 @@
 from .box import Box
 from .dump import (Checkpoint, load_checkpoint, read_checkpoint,
                    write_checkpoint)
-from .engine import (DistributedEngine, ForceEngine, MDLoop, RunSummary,
-                     SerialEngine, ThermoEntry, build_engine)
+from .engine import (DistributedEngine, EngineSession, ForceEngine,
+                     LoopSnapshot, MDLoop, RunSummary, SerialEngine,
+                     ThermoEntry, build_engine)
 from .integrators import (BerendsenBarostat, BerendsenThermostat,
                           LangevinThermostat, VelocityVerlet)
 from .minimize import FireResult, fire_minimize, relax_volume
@@ -34,6 +35,8 @@ __all__ = [
     "SerialEngine",
     "DistributedEngine",
     "MDLoop",
+    "LoopSnapshot",
+    "EngineSession",
     "RunSummary",
     "build_engine",
     "PhaseTimers",

@@ -56,7 +56,8 @@ from .timers import PhaseTimers
 from .trajectory import Frame
 
 __all__ = ["ForceEngine", "SerialEngine", "DistributedEngine", "MDLoop",
-           "RunSummary", "ThermoEntry", "CommLedger", "build_engine"]
+           "LoopSnapshot", "EngineSession", "RunSummary", "ThermoEntry",
+           "CommLedger", "build_engine"]
 
 
 # ======================================================================
@@ -236,6 +237,29 @@ class ForceEngine(abc.ABC):
         """Backend-specific :class:`RunSummary` fields."""
         return {}
 
+    def bind(self, system: ParticleSystem) -> None:
+        """Rebind this live engine to a new system state.
+
+        The session contract: after ``bind()`` the next :meth:`evaluate`
+        rebuilds the neighbor topology from scratch at the bound
+        coordinates - never reusing stale pair order, even when the new
+        positions sit within the old Verlet skin - so a rebound engine
+        is bitwise identical to a freshly constructed one.  What it does
+        *not* do is tear anything down: thread pools, worker processes,
+        shared-memory blocks, shard pools and resolved kernel tuning all
+        survive, which is what makes thousands of short segments cheap
+        (see :class:`EngineSession`).
+
+        Backends override this to invalidate their persistent topology;
+        the base implementation installs the system and refreshes a
+        multi-species potential's type binding.
+        """
+        self.system = system
+        set_types = getattr(self.potential, "set_types", None)
+        if callable(set_types) and getattr(self.potential, "_types",
+                                           None) is not None:
+            set_types(system.types)
+
     def close(self) -> None:
         """Release pools and sharded potentials (idempotent)."""
         close = getattr(self.potential, "close", None)
@@ -289,6 +313,16 @@ class SerialEngine(ForceEngine):
     def topology_reference(self) -> np.ndarray | None:
         ref = self.neighbors.ref_positions
         return None if ref is None else ref.copy()
+
+    def bind(self, system: ParticleSystem) -> None:
+        """Rebind to ``system``; a fresh neighbor list forces a rebuild
+        at the new coordinates (the build counter carries over, same as
+        the barostat rebind path)."""
+        super().bind(system)
+        rebound = NeighborList(box=system.box, cutoff=self.potential.cutoff,
+                               skin=self.skin)
+        rebound.nbuilds = self.neighbors.nbuilds
+        self.neighbors = rebound
 
     def evaluate(self, positions: np.ndarray | None = None) -> EnergyForces:
         if positions is None:
@@ -460,6 +494,22 @@ class DistributedEngine(ForceEngine):
     @property
     def topology_reference(self) -> np.ndarray | None:
         return None if self._ref_raw is None else self._ref_raw.copy()
+
+    def bind(self, system: ParticleSystem) -> None:
+        """Rebind to ``system``, keeping the rank pool alive.
+
+        Dropping the rank states forces the next :meth:`evaluate` to
+        reassign owners and rebuild halos/pair lists at the bound
+        coordinates; the grid is recomputed for the (possibly different)
+        box at the same rank count.
+        """
+        from ..parallel.decomposition import DomainGrid
+
+        super().bind(system)
+        self.grid = DomainGrid.for_ranks(system.box, self.grid.nranks)
+        self._ranks = None
+        self._ref_pos = None
+        self._ref_raw = None
 
     def summary_extras(self) -> dict:
         return {
@@ -708,6 +758,22 @@ class DistributedEngine(ForceEngine):
 # ======================================================================
 # the one MD loop
 # ======================================================================
+@dataclass
+class LoopSnapshot:
+    """In-memory exact-restart state (see :meth:`MDLoop.snapshot`).
+
+    Holds everything a file checkpoint holds - a deep copy of the
+    system, the step counter and the loop/engine extras (thermostat RNG
+    position, the step's force result, the topology reference) - without
+    touching the filesystem.  ParSplice-style services snapshot a state
+    once and restore it for every segment spawned from it.
+    """
+
+    step: int
+    system: ParticleSystem
+    extras: dict
+
+
 class MDLoop:
     """Velocity-Verlet MD over any :class:`ForceEngine`.
 
@@ -860,6 +926,17 @@ class MDLoop:
         return write_checkpoint(path, self.system, self.step,
                                 extra=self.checkpoint_extras())
 
+    def snapshot(self) -> LoopSnapshot:
+        """In-memory checkpoint: the file-checkpoint state, no IO.
+
+        Everything is deep-copied, so the snapshot stays valid (and
+        restorable any number of times) while the loop keeps running.
+        """
+        extras = {k: np.array(v)
+                  for k, v in self.checkpoint_extras().items()}
+        return LoopSnapshot(step=self.step, system=self.system.copy(),
+                            extras=extras)
+
     def restore(self, path: str | Path) -> int:
         """Resume from a checkpoint; returns the restored step.
 
@@ -875,50 +952,69 @@ class MDLoop:
           velocities the checkpoint no longer holds,
         * the Langevin RNG stream position, so the resumed run's first
           fresh draw is exactly the draw the uninterrupted run makes,
-        * the neighbor-topology reference positions: one priming
+        * the neighbor-topology reference positions: the engine is
+          rebound (dropping any persistent topology) and one priming
           evaluation at them rebuilds the pair lists in the identical
-          order the uninterrupted run holds (restoring the box installs
-          a fresh Box object, which every backend detects as a cell
-          change and answers with a rebuild),
+          order the uninterrupted run holds,
         * the attached trajectory writer's ``(offset, nframes)``, rolled
           back so frames written after the checkpoint (lost work from a
           crashed run) are truncated away.
         """
         ck = load_checkpoint(path)
+        return self._restore_state(ck.system, ck.step, ck.extras)
+
+    def restore_snapshot(self, snap: LoopSnapshot) -> int:
+        """In-memory counterpart of :meth:`restore`; same bitwise
+        contract, same mechanics, no file round-trip.  The snapshot is
+        not consumed - restoring it twice replays the same state."""
+        return self._restore_state(snap.system, snap.step, snap.extras)
+
+    def _restore_state(self, src: ParticleSystem, step: int,
+                       extras: dict) -> int:
+        """Shared exact-restart path behind file and in-memory restore."""
         system = self.system
-        if ck.system.natoms != system.natoms:
+        if src.natoms != system.natoms:
             raise ValueError(
-                f"checkpoint holds {ck.system.natoms} atoms, the engine's "
+                f"restart state holds {src.natoms} atoms, the engine's "
                 f"system has {system.natoms}")
-        system.positions = ck.system.positions
-        system.velocities = ck.system.velocities
-        system.masses = ck.system.masses
-        system.types = ck.system.types
-        system.box = ck.system.box
-        self.step = ck.step
-        rng = ck.extras.get("thermostat_rng")
+        system.positions = src.positions.copy()
+        system.velocities = src.velocities.copy()
+        system.masses = src.masses.copy()
+        system.types = src.types.copy()
+        system.box = src.box
+        self.step = int(step)
+        rng = extras.get("thermostat_rng")
         set_state = getattr(self.thermostat, "set_rng_state", None)
         if rng is not None and callable(set_state):
             set_state(rng)
-        ref = ck.extras.get("topology_ref")
+        # rebind drops the engine's persistent topology explicitly: an
+        # in-memory restore may reinstall the very Box object the engine
+        # already holds, which the box-identity rebuild checks would
+        # miss, silently keeping a pair order the snapshotted run did
+        # not have
+        self.engine.bind(system)
+        ref = extras.get("topology_ref")
         if ref is not None:
             self.engine.evaluate(np.asarray(ref, dtype=float))
         if self.trajectory is not None:
-            off = ck.extras.get("traj_offset")
+            off = extras.get("traj_offset")
             if off is not None:
                 with self.timers.phase("io"):
                     self.trajectory.truncate_to(int(off[0]), int(off[1]))
-        forces = ck.extras.get("last_forces")
+        forces = extras.get("last_forces")
         if forces is not None:
-            peratom = ck.extras.get("last_peratom")
-            virial = ck.extras.get("last_virial")
+            peratom = extras.get("last_peratom")
+            virial = extras.get("last_virial")
+            # copied: the loop mutates the force array in place (the
+            # thermostat adds friction/noise), which must never leak
+            # back into a restorable snapshot
             self._last = EnergyForces(
-                energy=float(ck.extras["last_energy"]),
+                energy=float(extras["last_energy"]),
                 peratom=None if peratom is None
-                else np.asarray(peratom, dtype=float),
-                forces=np.asarray(forces, dtype=float),
+                else np.array(peratom, dtype=float),
+                forces=np.array(forces, dtype=float),
                 virial=None if virial is None
-                else np.asarray(virial, dtype=float))
+                else np.array(virial, dtype=float))
         else:
             self._last = None  # legacy checkpoint: re-evaluate on run()
         self._resumed = True
@@ -1073,3 +1169,106 @@ def build_engine(system: ParticleSystem, potential: Potential, *,
                              skin=skin, check_finite=check_finite)
     raise ValueError(f"unknown backend {backend!r}; expected 'serial', "
                      "'distributed' or 'process'")
+
+
+# ======================================================================
+# reusable engine sessions
+# ======================================================================
+class EngineSession:
+    """One engine construction serving many short runs.
+
+    The one-shot lifecycle (construct, run, tear down) prices every
+    ParSplice segment at a full engine setup - thread pools, worker
+    process forks, shared-memory blocks, kernel-tuning resolution - when
+    the segment itself may be a few hundred force calls.  A session pays
+    that cost once: :meth:`run` rebinds the live engine to each new
+    system state (:meth:`ForceEngine.bind`), drives a fresh
+    :class:`MDLoop` over it and leaves every pool alive for the next
+    segment.  The bind contract keeps results bitwise identical to a
+    freshly constructed engine, so reuse is a pure amortization.
+
+    A session is *not* thread-safe: one segment runs at a time (the
+    engine's neighbor/halo state is singular).  Services wanting
+    concurrency hold a pool of sessions - see
+    :class:`repro.parsplice.service.SegmentScheduler`.
+    """
+
+    def __init__(self, engine: ForceEngine) -> None:
+        self.engine = engine
+        #: completed :meth:`run` calls
+        self.segments = 0
+        #: :meth:`bind` calls (includes the bind inside every run)
+        self.binds = 0
+        #: MD steps integrated across all runs
+        self.steps = 0
+        #: wall seconds inside :meth:`MDLoop.run` across all runs
+        self.md_wall_s = 0.0
+        self._closed = False
+
+    @classmethod
+    def build(cls, system: ParticleSystem, potential: Potential,
+              **engine_kwargs) -> "EngineSession":
+        """Construct a session around :func:`build_engine`."""
+        return cls(build_engine(system, potential, **engine_kwargs))
+
+    @property
+    def backend(self) -> str:
+        return type(self.engine).__name__
+
+    def bind(self, system: ParticleSystem) -> None:
+        """Rebind the live engine to a new system state."""
+        if self._closed:
+            raise RuntimeError("EngineSession is closed")
+        self.engine.bind(system)
+        self.binds += 1
+
+    def loop(self, system: ParticleSystem | None = None,
+             **loop_kwargs) -> MDLoop:
+        """A fresh :class:`MDLoop` over the (optionally rebound) engine.
+
+        For callers that drive the loop manually - e.g. to
+        :meth:`MDLoop.snapshot`/:meth:`MDLoop.restore_snapshot` between
+        runs.  Loop-level statistics are not folded into the session.
+        """
+        if system is not None:
+            self.bind(system)
+        return MDLoop(self.engine, **loop_kwargs)
+
+    def run(self, system: ParticleSystem, nsteps: int, *,
+            dt: float = 1.0e-3, thermostat=None, barostat=None,
+            thermo_every: int = 0, observers=()) -> RunSummary:
+        """Bind ``system`` and integrate ``nsteps`` over the live engine.
+
+        ``system`` is advanced in place (read positions/velocities off
+        it afterwards); the returned :class:`RunSummary` carries the
+        final potential energy and per-run throughput.
+        """
+        self.bind(system)
+        loop = MDLoop(self.engine, dt=dt, thermostat=thermostat,
+                      barostat=barostat, observers=observers)
+        summary = loop.run(nsteps, thermo_every=thermo_every)
+        self.segments += 1
+        self.steps += int(nsteps)
+        self.md_wall_s += summary.wall_s
+        return summary
+
+    def close(self) -> None:
+        """Release the underlying engine (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"EngineSession({self.backend}, segments={self.segments}, "
+                f"steps={self.steps}, closed={self._closed})")

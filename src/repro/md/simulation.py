@@ -49,16 +49,31 @@ class Simulation:
     check_finite:
         Debug sanitizer (default off): validate every kernel output for
         NaN/Inf via :func:`repro.lint.sanitizers.check_finite`.
+    engine:
+        A live :class:`~repro.md.engine.ForceEngine` (or
+        :class:`~repro.md.engine.EngineSession`) to reuse instead of
+        constructing a fresh :class:`SerialEngine`.  It is rebound to
+        ``system`` (see :meth:`ForceEngine.bind`); ``potential``,
+        ``skin``, ``nworkers`` and ``check_finite`` are then taken from
+        the engine and the same-named constructor arguments are ignored.
+        The caller keeps ownership - this facade never closes a borrowed
+        engine.
     """
 
     def __init__(self, system: ParticleSystem, potential: Potential,
                  dt: float = 1.0e-3, thermostat: LangevinThermostat | None = None,
                  barostat=None, skin: float = 0.3, checkpoint_every: int = 0,
                  checkpoint_path: str | Path | None = None,
-                 nworkers: int = 1, check_finite: bool = False) -> None:
-        self.engine = SerialEngine(system, potential, skin=skin,
-                                   nworkers=nworkers,
-                                   check_finite=check_finite)
+                 nworkers: int = 1, check_finite: bool = False,
+                 engine=None) -> None:
+        if engine is not None:
+            engine = getattr(engine, "engine", engine)  # unwrap a session
+            engine.bind(system)
+            self.engine = engine
+        else:
+            self.engine = SerialEngine(system, potential, skin=skin,
+                                       nworkers=nworkers,
+                                       check_finite=check_finite)
         self.loop = MDLoop(self.engine, dt=dt, thermostat=thermostat,
                            barostat=barostat,
                            checkpoint_every=checkpoint_every,

@@ -531,6 +531,16 @@ class ProcessEngine(ForceEngine):
         for rank in range(self.nprocs):
             self._start.append(ctx.Semaphore(0))
             self._done.append(ctx.Semaphore(0))
+        # The parent MUST keep the worker configs (and the barrier inside
+        # them) alive for the engine's lifetime: Process.start() drops its
+        # args reference, and a garbage-collected Barrier returns its
+        # 8-byte state block to the process-wide multiprocessing heap
+        # arena -- a MAP_SHARED mapping the forked workers inherit.  A
+        # second engine built later would then be handed the SAME arena
+        # block for its own barrier while the first engine's workers still
+        # mutate it under a different lock, corrupting both barriers and
+        # deadlocking concurrent engines.
+        self._worker_cfgs = []
         for rank in range(self.nprocs):
             cfg = {
                 "rank": rank, "nprocs": self.nprocs,
@@ -542,6 +552,7 @@ class ProcessEngine(ForceEngine):
                 "prefix": self._prefix, "start": self._start[rank],
                 "done": self._done[rank], "barrier": barrier,
             }
+            self._worker_cfgs.append(cfg)
             proc = ctx.Process(target=_worker_main, args=(cfg,),
                                name=f"repro-pe-{rank}", daemon=True)
             proc.start()
@@ -679,6 +690,35 @@ class ProcessEngine(ForceEngine):
                             forces=forces, virial=virial)
 
     # ------------------------------------------------------------------
+    def bind(self, system) -> None:
+        """Rebind to ``system``, keeping workers and shared blocks alive.
+
+        The shared blocks and the row partition are sized at
+        construction, so the new system must have the same atom count;
+        the potential was pickled into the workers, so the type array
+        must match too.  The box epoch is bumped unconditionally -
+        coordinates within the old Verlet skin must not silently reuse
+        the stale pair order, or the bitwise fresh-vs-rebound contract
+        breaks.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessEngine is closed")
+        if system.natoms != self.system.natoms:
+            raise ValueError(
+                f"cannot bind {system.natoms} atoms to a ProcessEngine "
+                f"sized for {self.system.natoms}: the shared blocks and "
+                "row partition are fixed at construction")
+        if not np.array_equal(system.types, self.system.types):
+            raise ValueError(
+                "cannot change atom types on a bound ProcessEngine: the "
+                "potential was pickled into the workers at construction")
+        super().bind(system)
+        self._box = system.box
+        self._box_lengths = np.array(system.box.lengths, dtype=float)
+        self._blocks["boxl"].array[:] = self._box_lengths
+        self._ctl[_BOX_EPOCH] += 1
+        self._ref_raw = None
+
     @property
     def neighbor_builds(self) -> int:
         return self.ledger.rebuilds
@@ -702,6 +742,8 @@ class ProcessEngine(ForceEngine):
             return
         self._closed = True
         self._finalizer()
+        # workers are gone; the barrier/semaphore blocks may be freed now
+        self._worker_cfgs = []
         super().close()
 
     @property

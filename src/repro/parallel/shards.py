@@ -330,10 +330,14 @@ def sharded_potential(potential, nworkers: int, backend: str = "thread"):
 
     Returns the potential unchanged when ``nworkers == 1`` or when it is
     not SNAP-backed (no ``snap`` attribute) - only the SNAP force pass
-    has a sharded evaluator.
+    has a sharded evaluator.  Already-wrapped potentials pass through
+    untouched (idempotent), so engine-session rebind paths can route a
+    potential through the factory again without stacking shard pools.
     """
     if nworkers < 1:
         raise ValueError("nworkers must be a positive integer")
+    if isinstance(potential, _ShardedSNAPPotential):
+        return potential
     if nworkers == 1 or not hasattr(potential, "snap"):
         return potential
     return _ShardedSNAPPotential(potential, nworkers, backend)

@@ -5,7 +5,10 @@ from .oracle import TransitionOracle, measured_md_rate
 from .qsd import (DoubleWell, evolve, exponentiality, first_escape_times,
                   qsd_sample)
 from .scheduler import ParSpliceRun, run_parsplice
-from .segments import Segment, SegmentGenerator
+from .segments import (MDSegment, MDSegmentGenerator, Segment,
+                       SegmentGenerator, run_md_segment)
+from .service import (SegmentScheduler, ServiceRun, ServiceSegmentGenerator,
+                      ServiceStats, run_parsplice_service)
 from .splicer import SpliceEngine
 
 __all__ = [
@@ -14,6 +17,9 @@ __all__ = [
     "nanoparticle_landscape",
     "Segment",
     "SegmentGenerator",
+    "MDSegment",
+    "MDSegmentGenerator",
+    "run_md_segment",
     "SpliceEngine",
     "TransitionOracle",
     "measured_md_rate",
@@ -24,4 +30,9 @@ __all__ = [
     "exponentiality",
     "run_parsplice",
     "ParSpliceRun",
+    "SegmentScheduler",
+    "ServiceStats",
+    "ServiceSegmentGenerator",
+    "ServiceRun",
+    "run_parsplice_service",
 ]

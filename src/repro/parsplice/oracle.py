@@ -15,24 +15,40 @@ import numpy as np
 __all__ = ["TransitionOracle", "measured_md_rate"]
 
 
-def measured_md_rate(system, potential, dt: float = 1.0e-3,
-                     nsteps: int = 10, **engine_kwargs) -> float:
+def measured_md_rate(system, potential=None, dt: float = 1.0e-3,
+                     nsteps: int = 10, *, engine=None,
+                     **engine_kwargs) -> float:
     """Measure the MD engine speed [simulated ps per wall-second].
 
-    Runs a short burst of real MD through :func:`repro.md.build_engine`
-    and the shared :class:`repro.md.MDLoop` and converts the measured
+    Runs a short burst of real MD through the shared
+    :class:`repro.md.MDLoop` and converts the measured
     ``atom_steps_per_s`` into the ``md_rate`` that
     :class:`repro.parsplice.SegmentGenerator` and the scheduler's
     speculation economics are parameterized by - grounding the virtual
     segment cost in an actual engine measurement instead of a guess.
-    ``engine_kwargs`` select the backend (``nranks``, ``nworkers``, ...).
+
+    By default a fresh engine is built (``engine_kwargs`` select the
+    backend: ``nranks``, ``nworkers``, ...) and torn down.  Passing a
+    live :class:`repro.md.EngineSession` (or bare engine) via ``engine``
+    measures over it instead - the session is rebound to ``system``,
+    reused, and left open (caller keeps ownership), so calibration runs
+    at the session fleet's true marginal cost.
     """
     from ..md.engine import MDLoop, build_engine
 
     if nsteps < 1:
         raise ValueError("nsteps must be positive")
-    with build_engine(system, potential, **engine_kwargs) as engine:
-        summary = MDLoop(engine, dt=dt).run(nsteps)
+    if engine is not None:
+        if hasattr(engine, "loop"):  # an EngineSession: count its stats
+            summary = engine.loop(system, dt=dt).run(nsteps)
+        else:
+            engine.bind(system)
+            summary = MDLoop(engine, dt=dt).run(nsteps)
+    else:
+        if potential is None:
+            raise ValueError("potential is required without an engine")
+        with build_engine(system, potential, **engine_kwargs) as eng:
+            summary = MDLoop(eng, dt=dt).run(nsteps)
     steps_per_s = summary.atom_steps_per_s / summary.natoms
     return steps_per_s * dt
 

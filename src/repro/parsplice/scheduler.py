@@ -8,6 +8,16 @@ it approaches the worker count when events are rare (segments almost
 always start where the trajectory ends up) and collapses toward 1 when
 new, unpredictable states appear constantly, exactly the easy/hard-case
 phenomenology of the lecture's benchmark tables.
+
+The driver is generator-agnostic: by default it evolves a
+:class:`~repro.parsplice.MarkovStateModel` exactly
+(:class:`~repro.parsplice.SegmentGenerator`), but any object with
+``generate(state)`` / ``nstates`` / ``t_segment`` plugs in - a
+:class:`~repro.parsplice.segments.MDSegmentGenerator` runs real MD over
+one engine session, and a
+:class:`~repro.parsplice.service.ServiceSegmentGenerator` fans each
+scheduling quantum out over a whole session pool (generators exposing
+``generate_batch`` receive the quantum as one batch).
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.rng import SeedStream
 from .model import MarkovStateModel
 from .oracle import TransitionOracle
 from .segments import SegmentGenerator
@@ -49,14 +60,17 @@ class ParSpliceRun:
                 f"speedup {self.speedup:.1f}x")
 
 
-def run_parsplice(msm: MarkovStateModel, nworkers: int, quanta: int,
-                  t_segment: float = 1.0, initial_state: int = 0,
-                  horizon: int = 4, seed: int = 0,
-                  speculate: bool = True) -> ParSpliceRun:
-    """Run a ParSplice campaign on a state model.
+def run_parsplice(msm: MarkovStateModel | None = None, nworkers: int = 1,
+                  quanta: int = 1, t_segment: float = 1.0,
+                  initial_state: int = 0, horizon: int = 4, seed: int = 0,
+                  speculate: bool = True, generator=None) -> ParSpliceRun:
+    """Run a ParSplice campaign on a state model or a segment generator.
 
     Parameters
     ----------
+    msm:
+        State model for the default exact-CTMC generator; optional when
+        ``generator`` is given.
     nworkers:
         Virtual workers producing one segment each per quantum.
     quanta:
@@ -66,27 +80,42 @@ def run_parsplice(msm: MarkovStateModel, nworkers: int, quanta: int,
         With ``False`` the oracle is bypassed and every worker starts in
         the current trajectory state (the no-speculation ablation; still
         benefits from revisit caching via the segment store).
+    generator:
+        Segment source implementing ``generate(state)`` and ``nstates``;
+        ``t_segment`` is taken from it when exposed, and a
+        ``generate_batch(states)`` method (the service adapter) receives
+        each quantum's allocation as one batch.
     """
     if nworkers < 1 or quanta < 1:
         raise ValueError("nworkers and quanta must be positive")
-    gen = SegmentGenerator(msm, t_segment=t_segment, seed=seed)
-    oracle = TransitionOracle(msm.nstates)
+    if generator is None:
+        if msm is None:
+            raise ValueError("either msm or generator is required")
+        generator = SegmentGenerator(msm, t_segment=t_segment, seed=seed)
+    nstates = int(generator.nstates if hasattr(generator, "nstates")
+                  else msm.nstates)
+    t_segment = float(getattr(generator, "t_segment", t_segment))
+    base_generated = float(getattr(generator, "generated_time", 0.0))
+    oracle = TransitionOracle(nstates)
     splicer = SpliceEngine(initial_state=initial_state)
-    rng = np.random.default_rng(seed + 1)
+    # realizes the historical default_rng(seed + 1) stream bitwise
+    rng = SeedStream(seed + 1).generator()
 
     for _ in range(quanta):
         if speculate:
             alloc = oracle.allocate(splicer.current_state, nworkers,
                                     horizon=horizon, rng=rng)
         else:
-            alloc = np.zeros(msm.nstates, dtype=int)
+            alloc = np.zeros(nstates, dtype=int)
             alloc[splicer.current_state] = nworkers
-        segments = []
-        for state in np.nonzero(alloc)[0]:
-            for _ in range(alloc[state]):
-                seg = gen.generate(int(state))
-                oracle.observe(seg.start_state, seg.end_state)
-                segments.append(seg)
+        # one start state per worker, in the historical generation order
+        starts = np.repeat(np.arange(len(alloc)), alloc)
+        if hasattr(generator, "generate_batch"):
+            segments = generator.generate_batch(starts)
+        else:
+            segments = [generator.generate(int(s)) for s in starts]
+        for seg in segments:
+            oracle.observe(seg.start_state, seg.end_state)
         for seg in segments:
             splicer.deposit(seg)
 
@@ -94,11 +123,12 @@ def run_parsplice(msm: MarkovStateModel, nworkers: int, quanta: int,
     return ParSpliceRun(
         nworkers=nworkers, quanta=quanta,
         trajectory_time=splicer.trajectory_time,
-        generated_time=gen.generated_time,
-        n_spliced=splicer.n_spliced, n_generated=gen.n_generated,
+        generated_time=generator.generated_time - base_generated,
+        n_spliced=splicer.n_spliced,
+        n_generated=generator.n_generated,
         n_transitions=splicer.n_transitions,
         n_states_visited=len(visited),
         speedup=splicer.trajectory_time / (quanta * t_segment),
-        spliced_fraction=splicer.spliced_fraction(gen.n_generated),
+        spliced_fraction=splicer.spliced_fraction(generator.n_generated),
         state_time=dict(splicer.state_time),
     )

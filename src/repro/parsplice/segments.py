@@ -1,23 +1,41 @@
-"""Trajectory segments and their virtual-MD generation.
+"""Trajectory segments and their generation - virtual and real MD.
 
 A *segment* is a trajectory piece that spent at least the decorrelation
 time ``t_corr`` in its first and last state, so that independently
 generated segments can be spliced end-to-end into a statistically
-correct state-to-state trajectory.  Here segment generation is exact
-CTMC evolution (the validity of splicing for Markovian state-to-state
-dynamics is what the QSD theory establishes); the *wall-clock cost* of
-producing a segment models an MD engine of a given speed.
+correct state-to-state trajectory.  Two generators live here:
+
+:class:`SegmentGenerator`
+    Exact CTMC evolution on a :class:`~repro.parsplice.MarkovStateModel`
+    (the validity of splicing for Markovian state-to-state dynamics is
+    what the QSD theory establishes); the *wall-clock cost* of producing
+    a segment models an MD engine of a given speed.
+:class:`MDSegmentGenerator` / :func:`run_md_segment`
+    Real MD: a state indexes a stored configuration, one segment is
+    ``nsteps`` of Langevin dynamics from it over a reusable
+    :class:`~repro.md.engine.EngineSession`.  Velocity draw and
+    thermostat stream derive from a keyed
+    :class:`~repro.core.rng.SeedStream`, so the same ``(state, seed)``
+    replays the bitwise-identical segment on any session, any backend,
+    any number of resubmissions - the idempotency the batched segment
+    service (:mod:`repro.parsplice.service`) is built on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.rng import SeedStream
+from ..md.engine import EngineSession
+from ..md.integrators import LangevinThermostat
+from ..md.system import ParticleSystem
 from .model import MarkovStateModel
 
-__all__ = ["Segment", "SegmentGenerator"]
+__all__ = ["Segment", "SegmentGenerator", "MDSegment", "MDSegmentGenerator",
+           "run_md_segment"]
 
 
 @dataclass(frozen=True)
@@ -46,16 +64,21 @@ class SegmentGenerator:
     md_rate:
         Virtual MD engine speed [simulated ps per wall-second per
         worker]; sets the wall cost ``t_segment / md_rate`` per segment.
+    seed:
+        Root entropy, or a :class:`~repro.core.rng.SeedStream` position;
+        an ``int`` realizes the same stream as the historical
+        ``default_rng(seed)``, so existing campaigns replay unchanged.
     """
 
     def __init__(self, msm: MarkovStateModel, t_segment: float = 1.0,
-                 md_rate: float = 1.0, seed: int = 0) -> None:
+                 md_rate: float = 1.0, seed: int | SeedStream = 0) -> None:
         if t_segment <= 0 or md_rate <= 0:
             raise ValueError("t_segment and md_rate must be positive")
         self.msm = msm
         self.t_segment = t_segment
         self.md_rate = md_rate
-        self._rng = np.random.default_rng(seed)
+        stream = seed if isinstance(seed, SeedStream) else SeedStream(seed)
+        self._rng = stream.generator()
         self.n_generated = 0
         self.generated_time = 0.0
 
@@ -71,3 +94,192 @@ class SegmentGenerator:
         self.generated_time += self.t_segment
         return Segment(start_state=state, end_state=end,
                        duration=self.t_segment, n_transitions=ntrans)
+
+
+# ======================================================================
+# real-MD segments
+# ======================================================================
+@dataclass(frozen=True)
+class MDSegment:
+    """One real-MD segment: the spliceable piece plus its final state.
+
+    Splicer-compatible (``start_state``/``end_state``/``duration``/
+    ``is_transition`` delegate to the embedded :class:`Segment`), so it
+    deposits straight into :class:`~repro.parsplice.SpliceEngine`.  The
+    ``fingerprint`` hashes the final phase-space point; two segments are
+    bitwise-identical iff their fingerprints match, which is how the
+    service asserts idempotent resubmission.
+    """
+
+    segment: Segment
+    state: int
+    seed: int
+    positions: np.ndarray = field(repr=False)
+    velocities: np.ndarray = field(repr=False)
+    energy: float
+    wall_s: float
+    fingerprint: str
+
+    @property
+    def start_state(self) -> int:
+        return self.segment.start_state
+
+    @property
+    def end_state(self) -> int:
+        return self.segment.end_state
+
+    @property
+    def duration(self) -> float:
+        return self.segment.duration
+
+    @property
+    def n_transitions(self) -> int:
+        return self.segment.n_transitions
+
+    @property
+    def is_transition(self) -> bool:
+        return self.segment.is_transition
+
+
+def _phase_fingerprint(positions: np.ndarray, velocities: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(positions).tobytes())
+    digest.update(np.ascontiguousarray(velocities).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def run_md_segment(session: EngineSession, template: ParticleSystem, *,
+                   state: int, seed: int, stream: SeedStream,
+                   nsteps: int = 100, dt: float = 1.0e-3,
+                   temperature: float = 300.0, damp: float = 0.1,
+                   classifier=None) -> MDSegment:
+    """One deterministic Langevin segment over a live engine session.
+
+    All randomness - the Maxwell-Boltzmann velocity draw and the
+    Langevin noise stream - derives from the keyed child stream
+    ``stream.child("segment", state, seed)``, and the session's bind
+    contract rebuilds the neighbor topology at the template coordinates,
+    so the produced segment is a pure function of
+    ``(template, state, seed, stream)``: bitwise-identical on every
+    resubmission, on any session of the pool, on any backend.
+
+    ``classifier(system, start_state) -> end_state`` maps the final
+    configuration back onto the state library; the default keeps the
+    segment in its start state (metastable-basin assumption - segments
+    are shorter than the escape time).
+    """
+    child = stream.child("segment", int(state), int(seed))
+    system = template.copy()
+    system.seed_velocities(temperature,
+                           rng=child.child("velocities").generator())
+    thermostat = LangevinThermostat(
+        temp=temperature, damp=damp, seed=child.child("thermostat").integer())
+    summary = session.run(system, nsteps, dt=dt, thermostat=thermostat)
+    end_state = int(state) if classifier is None \
+        else int(classifier(system, int(state)))
+    segment = Segment(start_state=int(state), end_state=end_state,
+                      duration=nsteps * dt,
+                      n_transitions=int(end_state != int(state)))
+    return MDSegment(segment=segment, state=int(state), seed=int(seed),
+                     positions=system.positions.copy(),
+                     velocities=system.velocities.copy(),
+                     energy=float(summary.energy),
+                     wall_s=float(summary.wall_s),
+                     fingerprint=_phase_fingerprint(system.positions,
+                                                    system.velocities))
+
+
+class MDSegmentGenerator:
+    """Single-session real-MD drop-in for :class:`SegmentGenerator`.
+
+    A *state library* (sequence of :class:`ParticleSystem` templates)
+    replaces the Markov model; :meth:`generate` runs one real segment
+    from the requested state's template over one reusable engine
+    session.  For a pool of sessions serving batched requests, use
+    :class:`repro.parsplice.service.SegmentScheduler` instead.
+
+    Parameters
+    ----------
+    states:
+        The state library; segment ``state`` starts from
+        ``states[state]`` (templates are copied, never mutated).
+    potential:
+        Force field for a self-built session (ignored when ``session``
+        is given).
+    session:
+        A live :class:`~repro.md.engine.EngineSession` to reuse; the
+        caller keeps ownership.  Without it, one is built from
+        ``engine_kwargs`` and closed by :meth:`close`.
+    seed:
+        Root entropy or :class:`~repro.core.rng.SeedStream` for the
+        per-segment key derivation.
+    """
+
+    def __init__(self, states, potential=None, *, session=None,
+                 nsteps: int = 100, dt: float = 1.0e-3,
+                 temperature: float = 300.0, damp: float = 0.1,
+                 seed: int | SeedStream = 0, classifier=None,
+                 **engine_kwargs) -> None:
+        self.states = [s.copy() for s in states]
+        if not self.states:
+            raise ValueError("the state library must hold at least one state")
+        if nsteps < 1:
+            raise ValueError("nsteps must be positive")
+        self._own_session = session is None
+        if session is None:
+            if potential is None:
+                raise ValueError("potential is required without a session")
+            session = EngineSession.build(self.states[0].copy(), potential,
+                                          **engine_kwargs)
+        self.session = session
+        self.nsteps = int(nsteps)
+        self.dt = float(dt)
+        self.temperature = float(temperature)
+        self.damp = float(damp)
+        self.classifier = classifier
+        self.stream = seed if isinstance(seed, SeedStream) else SeedStream(seed)
+        self._next_seed: dict[int, int] = {}
+        self.n_generated = 0
+        self.generated_time = 0.0
+
+    @property
+    def nstates(self) -> int:
+        return len(self.states)
+
+    @property
+    def t_segment(self) -> float:
+        """Physical duration of one segment [ps]."""
+        return self.nsteps * self.dt
+
+    def generate(self, state: int, seed: int | None = None) -> MDSegment:
+        """One real segment from ``states[state]``.
+
+        ``seed`` defaults to the state's next sequential segment seed;
+        passing an explicit value replays that exact segment.
+        """
+        state = int(state)
+        if not 0 <= state < len(self.states):
+            raise ValueError(f"state {state} outside the library "
+                             f"[0, {len(self.states)})")
+        if seed is None:
+            seed = self._next_seed.get(state, 0)
+            self._next_seed[state] = seed + 1
+        segment = run_md_segment(
+            self.session, self.states[state], state=state, seed=int(seed),
+            stream=self.stream, nsteps=self.nsteps, dt=self.dt,
+            temperature=self.temperature, damp=self.damp,
+            classifier=self.classifier)
+        self.n_generated += 1
+        self.generated_time += segment.duration
+        return segment
+
+    def close(self) -> None:
+        """Close a self-built session (borrowed sessions are left alone)."""
+        if self._own_session:
+            self.session.close()
+
+    def __enter__(self) -> "MDSegmentGenerator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

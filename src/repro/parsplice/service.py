@@ -1,0 +1,557 @@
+"""Batched ParSplice segment service over a pool of engine sessions.
+
+The production shape of ParSplice/EXAALT is many small MD jobs and
+heavy aggregate traffic: thousands of short, independently seeded
+segments in flight against a fixed worker fleet.  One-shot engines
+price every segment at a full construct/teardown (worker forks,
+shared-memory blocks, shard pools, tuning resolution); this module
+serves segments from **persistent engine sessions** instead, so the
+setup cost is paid ``nworkers`` times per campaign rather than once per
+segment.
+
+:class:`SegmentScheduler`
+    The service core.  Holds ``nworkers`` live
+    :class:`~repro.md.engine.EngineSession` objects, multiplexes
+    segment requests over them on a thread pool, and gives every
+    request the idempotency contract of
+    :func:`~repro.parsplice.segments.run_md_segment`: the same
+    ``(state, seed)`` is the bitwise-identical segment, which makes
+    resubmission after a worker death (or a duplicate request) safe.
+    Completed segments land in a bounded LRU cache keyed by
+    ``(state, seed)``; replays are served from it without touching an
+    engine.  Completions are spliced *asynchronously but
+    deterministically*: a reorder buffer releases segments to the
+    :class:`~repro.parsplice.SpliceEngine` in request-submission order
+    regardless of which session finishes first.  A bounded in-flight
+    window applies backpressure - :meth:`request` blocks once
+    ``max_inflight`` segments are queued, so an eager oracle cannot
+    outrun the fleet unboundedly.  Engine failures are detected per
+    segment, the dead session is replaced from the factory and the
+    segment is rescheduled (bounded retries).
+:class:`ServiceSegmentGenerator`
+    Adapter giving the scheduler the ``generate``/``generate_batch``
+    protocol :func:`repro.parsplice.run_parsplice` consumes, so the
+    Markov-level driver can run real-MD campaigns unchanged.
+:func:`run_parsplice_service`
+    A self-contained campaign: oracle speculation per quantum, batched
+    requests, spliced trajectory throughput accounting.
+
+Threading model: the executor (``self._pool``) runs at most one task
+per session; sessions are checked out of an idle queue, so a session is
+only ever driven by one thread at a time.  All scheduler bookkeeping
+(cache, in-flight table, reorder buffer, splicer, stats) is guarded by
+``self._lock``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import SeedStream
+from ..md.engine import EngineSession
+from .oracle import TransitionOracle
+from .segments import MDSegment, run_md_segment
+from .splicer import SpliceEngine
+
+__all__ = ["SegmentScheduler", "ServiceStats", "ServiceSegmentGenerator",
+           "ServiceRun", "run_parsplice_service"]
+
+#: how a dying engine surfaces: poisoned state/NaNs (ValueError,
+#: ArithmeticError), dead worker processes or torn shared memory
+#: (OSError and subclasses, EOFError), and the engines' own lifecycle
+#: errors (RuntimeError).  Programming errors (TypeError, KeyError, ...)
+#: propagate - rescheduling cannot fix those.
+_ENGINE_FAILURES = (RuntimeError, OSError, ValueError, EOFError,
+                    ArithmeticError)
+
+
+@dataclass
+class ServiceStats:
+    """Scheduler counters (all mutated under the scheduler lock)."""
+
+    #: request() calls (cache hits and joins included)
+    requests: int = 0
+    #: segments actually integrated on a session
+    segments_run: int = 0
+    #: requests served from the segment cache
+    cache_hits: int = 0
+    #: requests attached to an already in-flight identical segment
+    joined_inflight: int = 0
+    #: segment attempts rescheduled after a session failure
+    reschedules: int = 0
+    #: dead sessions replaced from the factory
+    sessions_replaced: int = 0
+    #: high-water mark of concurrently in-flight segments
+    max_inflight_seen: int = 0
+    #: physical time integrated [ps]
+    generated_ps: float = 0.0
+    #: wall seconds spent inside MD across all sessions
+    md_wall_s: float = 0.0
+
+
+class SegmentScheduler:
+    """Multiplex batched segment requests over persistent engine sessions.
+
+    Parameters
+    ----------
+    states:
+        State library; state ``i`` starts segments from ``states[i]``
+        (templates are copied at construction and never mutated).
+    potential:
+        Force field for the default session factory (ignored when
+        ``session_factory`` is given).
+    nworkers:
+        Live engine sessions (= maximum concurrently running segments).
+    nsteps, dt, temperature, damp:
+        Segment physics; one segment is ``nsteps`` Langevin steps.
+    seed:
+        Root entropy (or :class:`~repro.core.rng.SeedStream`) for the
+        keyed per-segment streams.
+    classifier:
+        ``classifier(system, start_state) -> end_state`` hook mapping a
+        segment's final configuration onto the library; default keeps
+        the segment in its start state.
+    cache_limit:
+        Bounded LRU capacity of the ``(state, seed)`` segment cache.
+    max_inflight:
+        Backpressure window; :meth:`request` blocks when this many
+        segments are queued or running.  Default ``4 * nworkers``.
+    max_retries:
+        Reschedule attempts per segment after session failures.
+    session_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.md.engine.EngineSession`; used at construction
+        and to replace dead sessions.  Default builds
+        ``build_engine(states[0], potential, **engine_kwargs)``.
+    """
+
+    def __init__(self, states, potential=None, *, nworkers: int = 2,
+                 nsteps: int = 100, dt: float = 1.0e-3,
+                 temperature: float = 300.0, damp: float = 0.1,
+                 seed: int | SeedStream = 0, initial_state: int = 0,
+                 classifier=None, cache_limit: int = 4096,
+                 max_inflight: int | None = None, max_retries: int = 2,
+                 session_factory=None, **engine_kwargs) -> None:
+        if nworkers < 1:
+            raise ValueError("nworkers must be positive")
+        if nsteps < 1:
+            raise ValueError("nsteps must be positive")
+        if cache_limit < 0:
+            raise ValueError("cache_limit must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.states = [s.copy() for s in states]
+        if not self.states:
+            raise ValueError("the state library must hold at least one state")
+        if session_factory is None:
+            if potential is None:
+                raise ValueError(
+                    "potential is required without a session_factory")
+            template = self.states[0]
+
+            def session_factory() -> EngineSession:
+                return EngineSession.build(template.copy(), potential,
+                                           **engine_kwargs)
+
+        self.nworkers = int(nworkers)
+        self.nsteps = int(nsteps)
+        self.dt = float(dt)
+        self.temperature = float(temperature)
+        self.damp = float(damp)
+        self.classifier = classifier
+        self.stream = seed if isinstance(seed, SeedStream) else SeedStream(seed)
+        self.stats = ServiceStats()  # guarded-by: _lock
+        self.splicer = SpliceEngine(initial_state=int(initial_state))  # guarded-by: _lock
+        self.max_retries = int(max_retries)
+        self.cache_limit = int(cache_limit)
+
+        self._session_factory = session_factory
+        self._sessions = [session_factory() for _ in range(self.nworkers)]  # guarded-by: _lock
+        self._idle: queue.SimpleQueue = queue.SimpleQueue()
+        for idx in range(self.nworkers):
+            self._idle.put(idx)
+        self._pool = ThreadPoolExecutor(max_workers=self.nworkers,
+                                        thread_name_prefix="segsvc")
+        self._lock = threading.RLock()
+        self._cache: OrderedDict = OrderedDict()  # guarded-by: _lock
+        self._inflight: dict = {}  # guarded-by: _lock
+        self._limiter = threading.BoundedSemaphore(
+            max_inflight if max_inflight is not None else 4 * self.nworkers)
+        self._next_seed: dict = {}  # guarded-by: _lock
+        self._tickets = 0  # guarded-by: _lock
+        self._next_splice = 0  # guarded-by: _lock
+        self._reorder: dict = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    @property
+    def nstates(self) -> int:
+        return len(self.states)
+
+    @property
+    def t_segment(self) -> float:
+        """Physical duration of one segment [ps]."""
+        return self.nsteps * self.dt
+
+    def request(self, state: int, seed: int | None = None) -> Future:
+        """Schedule one segment; returns a future of :class:`MDSegment`.
+
+        ``seed=None`` draws the state's next sequential segment seed;
+        an explicit seed makes the request idempotent - a cached or
+        in-flight identical segment is returned instead of rerunning.
+        Blocks while the in-flight window is full (backpressure).
+        """
+        state = int(state)
+        if not 0 <= state < len(self.states):
+            raise ValueError(f"state {state} outside the library "
+                             f"[0, {len(self.states)})")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SegmentScheduler is closed")
+            if seed is None:
+                seed = self._next_seed.get(state, 0)
+                self._next_seed[state] = seed + 1
+            key = (state, int(seed))
+            self.stats.requests += 1
+            fut = self._lookup_locked(key)
+            if fut is not None:
+                return fut
+        # blocking acquire OUTSIDE the lock: backpressure must not hold
+        # up completions (which need the lock to release the window)
+        self._limiter.acquire()
+        with self._lock:
+            if self._closed:
+                self._limiter.release()
+                raise RuntimeError("SegmentScheduler is closed")
+            # a duplicate may have landed while this request waited on
+            # the window; serving it keeps the idempotency contract
+            fut = self._lookup_locked(key)
+            if fut is not None:
+                self._limiter.release()
+                return fut
+            ticket = self._tickets
+            self._tickets += 1
+            fut = self._pool.submit(self._run_segment, key, ticket)
+            self._inflight[key] = fut
+            self.stats.max_inflight_seen = max(self.stats.max_inflight_seen,
+                                               len(self._inflight))
+        return fut
+
+    def _lookup_locked(self, key) -> Future | None:
+        """Cache/in-flight lookup; caller holds the lock."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            fut: Future = Future()
+            fut.set_result(cached)
+            return fut
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.stats.joined_inflight += 1
+            return inflight
+        return None
+
+    def request_batch(self, alloc) -> list[Future]:
+        """Schedule a quantum: ``alloc[state]`` segments per state.
+
+        ``alloc`` is a per-state count array (the shape
+        :meth:`TransitionOracle.allocate` emits) or a ``{state: count}``
+        mapping.  Returns the futures in submission order.
+        """
+        if isinstance(alloc, dict):
+            items = sorted(alloc.items())
+        else:
+            counts = np.asarray(alloc, dtype=int)
+            items = [(s, int(c)) for s, c in enumerate(counts) if c > 0]
+        futures = []
+        for state, count in items:
+            for _ in range(int(count)):
+                futures.append(self.request(int(state)))
+        return futures
+
+    @staticmethod
+    def gather(futures) -> list[MDSegment]:
+        """Wait on a batch; returns the segments in request order."""
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # worker path (runs on pool threads)
+    # ------------------------------------------------------------------
+    def _run_segment(self, key, ticket: int) -> MDSegment:
+        state, seed = key
+        last_err: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                with self._lock:
+                    self.stats.reschedules += 1
+            idx = self._idle.get()
+            session = self._sessions[idx]
+            try:
+                segment = run_md_segment(
+                    session, self.states[state], state=state, seed=seed,
+                    stream=self.stream, nsteps=self.nsteps, dt=self.dt,
+                    temperature=self.temperature, damp=self.damp,
+                    classifier=self.classifier)
+            except _ENGINE_FAILURES as err:  # session died mid-segment
+                last_err = err
+                self._replace_session(idx)
+                continue
+            self._idle.put(idx)
+            self._complete(key, ticket, segment)
+            return segment
+        self._abandon(key, ticket)
+        raise RuntimeError(
+            f"segment {key} failed after {self.max_retries + 1} attempts"
+        ) from last_err
+
+    def _replace_session(self, idx: int) -> None:
+        """Swap a dead session for a factory-fresh one.
+
+        The idle token goes back only once the replacement exists: if
+        the factory itself fails, the slot is lost and the error
+        propagates to the segment's future instead of hanging peers on
+        a token for a broken session.
+        """
+        try:
+            self._sessions[idx].close()  # guarded-by: _idle (slot checked out)
+        except _ENGINE_FAILURES:
+            pass  # already-broken engines may fail their own teardown
+        replacement = self._session_factory()
+        with self._lock:
+            self._sessions[idx] = replacement
+            self.stats.sessions_replaced += 1
+        self._idle.put(idx)
+
+    def _complete(self, key, ticket: int, segment: MDSegment) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+            if self.cache_limit:
+                self._cache[key] = segment
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_limit:
+                    self._cache.popitem(last=False)
+            self.stats.segments_run += 1
+            self.stats.generated_ps += segment.duration
+            self.stats.md_wall_s += segment.wall_s
+            self._reorder[ticket] = segment
+            self._drain_locked()
+        self._limiter.release()
+
+    def _abandon(self, key, ticket: int) -> None:
+        """Give up on a segment: unblock its ticket so splicing proceeds."""
+        with self._lock:
+            self._inflight.pop(key, None)
+            self._reorder[ticket] = None
+            self._drain_locked()
+        self._limiter.release()
+
+    def _drain_locked(self) -> None:
+        """Deposit completions in submission-ticket order (lock held).
+
+        Sessions finish in wall-clock order, but the official trajectory
+        must not depend on which worker was faster: the reorder buffer
+        holds finished segments until every earlier ticket has resolved,
+        so the splice sequence is a pure function of the request
+        sequence.
+        """
+        while self._next_splice in self._reorder:
+            segment = self._reorder.pop(self._next_splice)
+            self._next_splice += 1  # guarded-by: _lock
+            if segment is not None:
+                self.splicer.deposit(segment)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def trajectory_ps(self) -> float:
+        with self._lock:
+            return self.splicer.trajectory_time
+
+    @property
+    def current_state(self) -> int:
+        with self._lock:
+            return self.splicer.current_state
+
+    def session_stats(self) -> list[dict]:
+        """Per-session reuse counters (segments, binds, steps, wall)."""
+        with self._lock:
+            sessions = list(self._sessions)
+        return [{"backend": s.backend, "segments": s.segments,
+                 "binds": s.binds, "steps": s.steps,
+                 "md_wall_s": s.md_wall_s} for s in sessions]
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "nworkers": self.nworkers,
+                "nstates": self.nstates,
+                "t_segment_ps": self.t_segment,
+                "trajectory_ps": self.splicer.trajectory_time,
+                "n_spliced": self.splicer.n_spliced,
+                "n_transitions": self.splicer.n_transitions,
+                "stored_segments": self.splicer.stored_segments,
+                "requests": self.stats.requests,
+                "segments_run": self.stats.segments_run,
+                "cache_hits": self.stats.cache_hits,
+                "joined_inflight": self.stats.joined_inflight,
+                "reschedules": self.stats.reschedules,
+                "sessions_replaced": self.stats.sessions_replaced,
+                "generated_ps": self.stats.generated_ps,
+                "md_wall_s": self.stats.md_wall_s,
+            }
+
+    def close(self) -> None:
+        """Drain the pool and close every session (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "SegmentScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ======================================================================
+# run_parsplice adapter
+# ======================================================================
+class ServiceSegmentGenerator:
+    """Give a :class:`SegmentScheduler` the segment-generator protocol.
+
+    :func:`repro.parsplice.run_parsplice` drives generators through
+    ``generate(state)`` (and ``generate_batch(states)`` when
+    available); this adapter routes those calls through the scheduler,
+    so a whole scheduling quantum fans out over the session pool and
+    completes before the driver splices.
+    """
+
+    def __init__(self, scheduler: SegmentScheduler) -> None:
+        self.scheduler = scheduler
+        self.n_generated = 0
+        self.generated_time = 0.0
+
+    @property
+    def nstates(self) -> int:
+        return self.scheduler.nstates
+
+    @property
+    def t_segment(self) -> float:
+        return self.scheduler.t_segment
+
+    def generate(self, state: int) -> MDSegment:
+        segment = self.scheduler.request(state).result()
+        self.n_generated += 1
+        self.generated_time += segment.duration
+        return segment
+
+    def generate_batch(self, states) -> list[MDSegment]:
+        futures = [self.scheduler.request(int(s)) for s in states]
+        segments = [f.result() for f in futures]
+        self.n_generated += len(segments)
+        self.generated_time += sum(s.duration for s in segments)
+        return segments
+
+
+# ======================================================================
+# self-contained campaign
+# ======================================================================
+@dataclass
+class ServiceRun:
+    """Outcome of a :func:`run_parsplice_service` campaign."""
+
+    nworkers: int
+    quanta: int
+    trajectory_ps: float
+    generated_ps: float
+    wall_s: float
+    #: the service figure of merit: official spliced trajectory
+    #: nanoseconds per wall-clock second
+    spliced_ns_per_s: float
+    n_spliced: int
+    n_transitions: int
+    stats: ServiceStats
+    session_stats: list
+
+    def summary(self) -> str:
+        return (f"{self.nworkers} sessions x {self.quanta} quanta: "
+                f"{self.trajectory_ps:.2f} ps spliced from "
+                f"{self.generated_ps:.2f} ps generated in "
+                f"{self.wall_s:.2f} s -> "
+                f"{self.spliced_ns_per_s:.3g} ns/s "
+                f"({self.stats.cache_hits} cache hits, "
+                f"{self.stats.reschedules} reschedules)")
+
+
+def run_parsplice_service(states, potential=None, *, nworkers: int = 2,
+                          quanta: int = 4,
+                          segments_per_quantum: int | None = None,
+                          horizon: int = 4, speculate: bool = True,
+                          scheduler: SegmentScheduler | None = None,
+                          **scheduler_kwargs) -> ServiceRun:
+    """Run a real-MD ParSplice campaign over a session pool.
+
+    Each quantum: the oracle (a Dirichlet-smoothed transition model
+    learned online) allocates ``segments_per_quantum`` segments over
+    predicted future states, the batch fans out over the sessions, and
+    completions splice deterministically in submission order.  With
+    ``speculate=False`` every segment starts in the trajectory's
+    current state (the no-speculation ablation).
+
+    A caller-provided ``scheduler`` is reused and left open; otherwise
+    one is built from ``states``/``potential``/``scheduler_kwargs`` and
+    closed before returning.
+    """
+    if quanta < 1:
+        raise ValueError("quanta must be positive")
+    own = scheduler is None
+    if own:
+        scheduler = SegmentScheduler(states, potential, nworkers=nworkers,
+                                     **scheduler_kwargs)
+    try:
+        per_quantum = segments_per_quantum if segments_per_quantum \
+            else scheduler.nworkers
+        oracle = TransitionOracle(scheduler.nstates)
+        t0 = time.perf_counter()
+        for _ in range(quanta):
+            if speculate and scheduler.nstates > 1:
+                alloc = oracle.allocate(scheduler.current_state, per_quantum,
+                                        horizon=horizon)
+            else:
+                alloc = np.zeros(scheduler.nstates, dtype=int)
+                alloc[scheduler.current_state] = per_quantum
+            for segment in scheduler.gather(scheduler.request_batch(alloc)):
+                oracle.observe(segment.start_state, segment.end_state)
+        wall = time.perf_counter() - t0
+        summary = scheduler.summary()
+        return ServiceRun(
+            nworkers=scheduler.nworkers, quanta=quanta,
+            trajectory_ps=summary["trajectory_ps"],
+            generated_ps=summary["generated_ps"],
+            wall_s=wall,
+            spliced_ns_per_s=(summary["trajectory_ps"] / 1000.0 / wall
+                              if wall > 0 else float("inf")),
+            n_spliced=summary["n_spliced"],
+            n_transitions=summary["n_transitions"],
+            stats=scheduler.stats,
+            session_stats=scheduler.session_stats())
+    finally:
+        if own:
+            scheduler.close()

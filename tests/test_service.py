@@ -1,0 +1,371 @@
+"""Engine sessions + batched segment service (ISSUE 10).
+
+Covers the three layers of the refactor: the :meth:`ForceEngine.bind`
+contract (a rebound live engine is bitwise-identical to a freshly
+constructed one, on every backend), the in-memory
+snapshot/restore-snapshot path against the file-checkpoint baseline,
+and the :class:`SegmentScheduler` service semantics - idempotent
+resubmission, the segment cache, deterministic splicing, and
+worker-death rescheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import SeedStream
+from repro.md import MDLoop, build_engine
+from repro.md.engine import EngineSession
+from repro.md.integrators import LangevinThermostat
+from repro.parsplice import (MDSegmentGenerator, SegmentScheduler,
+                             ServiceSegmentGenerator, measured_md_rate,
+                             run_md_segment, run_parsplice,
+                             run_parsplice_service)
+from repro.potentials import LennardJones
+from repro.structures import lattice_system
+
+BACKENDS = [
+    pytest.param(dict(), id="serial"),
+    pytest.param(dict(nranks=2), id="distributed"),
+    pytest.param(dict(backend="process", nprocs=2), id="process"),
+]
+
+
+def _pot():
+    return LennardJones(epsilon=0.2, sigma=2.2, cutoff=3.0)
+
+
+def _state(jitter_seed=None):
+    # 3 reps along x so a 2-rank domain split stays above the cutoff
+    s = lattice_system("fcc", a=2.5, reps=(3, 2, 2))
+    if jitter_seed is not None:
+        rng = np.random.default_rng(jitter_seed)
+        s.positions = s.positions + rng.normal(scale=0.02,
+                                               size=s.positions.shape)
+    return s
+
+
+def _library(n=3):
+    return [_state(None if i == 0 else i) for i in range(n)]
+
+
+def _run_segment_on(engine, system, nsteps=8, seed=4):
+    sys_run = system.copy()
+    sys_run.seed_velocities(60.0, rng=np.random.default_rng(seed))
+    loop = MDLoop(engine, dt=1e-3,
+                  thermostat=LangevinThermostat(temp=60.0, damp=0.1,
+                                                seed=seed))
+    loop.run(nsteps)
+    return sys_run.positions.copy(), sys_run.velocities.copy()
+
+
+# ======================================================================
+# SeedStream
+# ======================================================================
+class TestSeedStream:
+    def test_root_matches_default_rng(self):
+        a = SeedStream(1234).generator().normal(size=8)
+        b = np.random.default_rng(1234).normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_child_keys_are_stateless_and_deterministic(self):
+        s = SeedStream(7)
+        a = s.child("segment", 3, 5)
+        b = s.child("segment", 3, 5)
+        assert a == b
+        assert np.array_equal(a.generator().normal(size=4),
+                              b.generator().normal(size=4))
+        # order-of-derivation independence: deriving other children
+        # first never perturbs a keyed stream
+        s.child("other", 0)
+        c = s.child("segment", 3, 5)
+        assert np.array_equal(c.generator().normal(size=4),
+                              a.generator().normal(size=4))
+
+    def test_distinct_keys_distinct_streams(self):
+        s = SeedStream(7)
+        draws = {tuple(s.child("segment", i, j).generator().integers(
+            0, 2**32, size=2)) for i in range(3) for j in range(3)}
+        assert len(draws) == 9
+
+    def test_spawn_is_sequential_and_unique(self):
+        s = SeedStream(11)
+        a, b = s.spawn(), s.spawn()
+        assert a != b
+        t = SeedStream(11)
+        c, d = t.spawn_many(2)
+        assert (a, b) == (c, d)
+
+    def test_state_round_trip(self):
+        s = SeedStream(3).child("x", 2)
+        r = SeedStream.from_state(s.state())
+        assert r == s
+        assert np.array_equal(r.generator().normal(size=3),
+                              s.generator().normal(size=3))
+
+    def test_integer_fits_requested_bits(self):
+        v = SeedStream(5).child("thermostat").integer(bits=31)
+        assert 0 <= v < 2**31
+
+
+# ======================================================================
+# bind contract + snapshot/restore
+# ======================================================================
+class TestBindContract:
+    @pytest.mark.parametrize("engine_kwargs", BACKENDS)
+    def test_bound_engine_bitwise_matches_fresh(self, engine_kwargs):
+        pot = _pot()
+        state_a, state_b = _state(1), _state(2)
+        # dirty the engine on state A, then rebind to state B
+        with build_engine(state_a.copy(), pot, **engine_kwargs) as engine:
+            _run_segment_on(engine, engine.system)
+            target = state_b.copy()
+            engine.bind(target)
+            pos_bound, vel_bound = _run_segment_on(engine, target)
+        with build_engine(state_b.copy(), pot, **engine_kwargs) as engine:
+            pos_fresh, vel_fresh = _run_segment_on(engine, engine.system)
+        assert np.array_equal(pos_bound, pos_fresh)
+        assert np.array_equal(vel_bound, vel_fresh)
+
+    def test_process_bind_rejects_shape_changes(self):
+        pot = _pot()
+        with build_engine(_state(), pot, backend="process",
+                          nprocs=2) as engine:
+            bigger = lattice_system("fcc", a=2.5, reps=(4, 2, 2))
+            with pytest.raises(ValueError):
+                engine.bind(bigger)
+
+    @pytest.mark.parametrize("engine_kwargs", BACKENDS)
+    def test_snapshot_replay_matches_file_restore(self, engine_kwargs,
+                                                  tmp_path):
+        pot = _pot()
+        sys_run = _state(1)
+        sys_run.seed_velocities(60.0, rng=np.random.default_rng(2))
+        ck = tmp_path / "mid.ckpt"
+        with build_engine(sys_run, pot, **engine_kwargs) as engine:
+            loop = MDLoop(engine, dt=1e-3,
+                          thermostat=LangevinThermostat(temp=60.0, damp=0.1,
+                                                        seed=3),
+                          checkpoint_every=3, checkpoint_path=ck)
+            loop.run(3)
+            snap = loop.snapshot()
+            # stop checkpointing: the replay runs below would overwrite
+            # the step-3 file at step 6 and break the file baseline
+            loop.checkpoint_every = 0
+            # replaying the same snapshot twice gives the identical
+            # continuation regardless of intervening loop state
+            loop.restore_snapshot(snap)
+            loop.run(4)
+            pos_first = loop.system.positions.copy()
+            loop.restore_snapshot(snap)
+            loop.run(4)
+            assert np.array_equal(loop.system.positions, pos_first)
+            # and matches the file-checkpoint restore bitwise
+            loop.restore(ck)
+            loop.run(4)
+            assert np.array_equal(loop.system.positions, pos_first)
+
+    def test_session_counts_reuse(self):
+        pot = _pot()
+        session = EngineSession.build(_state(), pot)
+        with session:
+            for k in range(3):
+                sys_k = _state(k)
+                session.run(sys_k, 2, thermostat=LangevinThermostat(
+                    temp=60.0, damp=0.1, seed=k))
+            assert session.segments == 3
+            assert session.binds == 3
+            assert session.steps == 6
+            assert session.md_wall_s > 0
+        assert session.closed
+        with pytest.raises(RuntimeError):
+            session.bind(_state())
+
+
+# ======================================================================
+# segment service
+# ======================================================================
+class TestSegmentService:
+    def test_idempotent_resubmission_across_sessions(self):
+        """Same (state, seed) is the bitwise-identical segment on any
+        session of the pool, any resubmission, and on a lone session."""
+        states, pot = _library(), _pot()
+        with SegmentScheduler(states, pot, nworkers=2, nsteps=6,
+                              seed=7, cache_limit=0) as sched:
+            futs = [sched.request(1, seed=5) for _ in range(4)]
+            prints = {f.result().fingerprint for f in futs}
+        assert len(prints) == 1
+        with MDSegmentGenerator(states, pot, nsteps=6, seed=7) as gen:
+            lone = gen.generate(1, seed=5)
+        assert lone.fingerprint in prints
+
+    def test_cache_hit_path_skips_md(self):
+        states, pot = _library(), _pot()
+        with SegmentScheduler(states, pot, nworkers=1, nsteps=6,
+                              seed=7) as sched:
+            first = sched.request(2, seed=0).result()
+            runs = sched.stats.segments_run
+            again = sched.request(2, seed=0).result()
+            assert sched.stats.segments_run == runs  # no MD re-run
+            assert sched.stats.cache_hits >= 1
+            assert again.fingerprint == first.fingerprint
+
+    def test_sequential_seeds_differ_per_state(self):
+        states, pot = _library(), _pot()
+        with SegmentScheduler(states, pot, nworkers=1, nsteps=6,
+                              seed=7) as sched:
+            a = sched.request(0).result()
+            b = sched.request(0).result()
+        assert (a.seed, b.seed) == (0, 1)
+        assert a.fingerprint != b.fingerprint
+
+    def test_worker_death_reschedules_on_replacement_session(self):
+        states, pot = _library(), _pot()
+
+        class FlakySession:
+            """Dies on its first run, then delegates to a real session."""
+
+            def __init__(self, real):
+                self._real = real
+                self._poisoned = True
+
+            def run(self, *args, **kwargs):
+                if self._poisoned:
+                    self._poisoned = False
+                    raise RuntimeError("engine died")
+                return self._real.run(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        built = []
+
+        def factory():
+            real = EngineSession.build(states[0].copy(), pot)
+            built.append(real)
+            return FlakySession(real) if len(built) == 1 else real
+
+        with SegmentScheduler(states, session_factory=factory, nworkers=1,
+                              nsteps=6, seed=7) as sched:
+            seg = sched.request(1, seed=5).result()
+            assert sched.stats.reschedules >= 1
+            assert sched.stats.sessions_replaced >= 1
+        # the rescheduled segment is bitwise what a healthy run produces
+        with SegmentScheduler(states, pot, nworkers=1, nsteps=6,
+                              seed=7) as sched:
+            healthy = sched.request(1, seed=5).result()
+        assert seg.fingerprint == healthy.fingerprint
+
+    def test_exhausted_retries_fail_the_future_not_the_service(self):
+        states, pot = _library(), _pot()
+
+        class DeadSession:
+            def run(self, *args, **kwargs):
+                raise RuntimeError("permanently dead")
+
+            def bind(self, system):
+                pass
+
+            def close(self):
+                pass
+
+        with SegmentScheduler(states, session_factory=DeadSession,
+                              nworkers=1, nsteps=6, seed=7,
+                              max_retries=1) as sched:
+            with pytest.raises(RuntimeError, match="failed after 2"):
+                sched.request(0, seed=0).result()
+
+    def test_splice_order_is_submission_order(self):
+        """The official trajectory is a pure function of the request
+        sequence, not of worker completion order."""
+        states, pot = _library(), _pot()
+
+        def campaign(nworkers):
+            with SegmentScheduler(states, pot, nworkers=nworkers, nsteps=6,
+                                  seed=7, initial_state=0) as sched:
+                sched.gather(sched.request_batch([2, 2, 2]))
+                return (sched.trajectory_ps, sched.current_state,
+                        sched.splicer.n_spliced)
+
+        assert campaign(1) == campaign(3)
+
+    def test_run_parsplice_over_md_generator(self):
+        states, pot = _library(), _pot()
+        with MDSegmentGenerator(states, pot, nsteps=6, seed=7) as gen:
+            run = run_parsplice(nworkers=2, quanta=2, generator=gen)
+        assert run.n_generated == 4
+        assert run.trajectory_time > 0
+        assert run.generated_time == pytest.approx(4 * gen.t_segment)
+
+    def test_run_parsplice_over_service_adapter(self):
+        states, pot = _library(), _pot()
+        with SegmentScheduler(states, pot, nworkers=2, nsteps=6,
+                              seed=7) as sched:
+            gen = ServiceSegmentGenerator(sched)
+            run = run_parsplice(nworkers=2, quanta=2, generator=gen)
+            assert run.n_generated == 4
+            assert sched.stats.segments_run <= 4  # cache may dedup
+
+    def test_run_parsplice_service_campaign(self):
+        states, pot = _library(), _pot()
+        run = run_parsplice_service(states, pot, nworkers=2, quanta=2,
+                                    nsteps=6, seed=3)
+        assert run.n_spliced >= 1
+        assert run.trajectory_ps > 0
+        assert len(run.session_stats) == 2
+        assert "sessions" in run.summary()
+
+
+# ======================================================================
+# calibration over a live session (satellite: oracle/exaalt engine=)
+# ======================================================================
+class TestCalibrationOverSession:
+    def test_measured_md_rate_reuses_session(self):
+        pot = _pot()
+        with EngineSession.build(_state(), pot) as session:
+            rate1 = measured_md_rate(_state(1), nsteps=2, engine=session)
+            rate2 = measured_md_rate(_state(2), nsteps=2, engine=session)
+            assert rate1 > 0 and rate2 > 0
+            assert not session.closed
+            assert session.binds >= 2
+
+    def test_measured_md_rate_requires_potential_or_engine(self):
+        with pytest.raises(ValueError):
+            measured_md_rate(_state(), nsteps=2)
+
+    def test_calibrated_config_over_session(self):
+        from repro.exaalt import calibrated_config
+
+        pot = _pot()
+        with EngineSession.build(_state(), pot) as session:
+            cfg = calibrated_config(_state(1), t_segment=0.002,
+                                    engine=session, n_workers=10)
+            assert cfg.task_duration_mean > 0
+            assert cfg.n_workers == 10
+            assert not session.closed
+
+
+# ======================================================================
+# soak matrix (excluded from tier-1; run with -m slow)
+# ======================================================================
+@pytest.mark.slow
+@pytest.mark.parametrize("engine_kwargs", BACKENDS)
+@pytest.mark.parametrize("nworkers", [1, 2, 4])
+def test_soak_matrix_bitwise_across_pool_shapes(nworkers, engine_kwargs):
+    """Every (nworkers, backend) cell serves the same segments as one
+    lone session of that backend, bitwise - pool size and request
+    interleaving never leak into the physics.  (The distributed backend
+    is only ``allclose`` to serial - different summation order - so the
+    reference is per-backend, not cross-backend.)"""
+    states, pot = _library(), _pot()
+    jobs = [(k % 3, k) for k in range(6)]
+    with SegmentScheduler(states, pot, nworkers=nworkers, nsteps=6,
+                          seed=7, **engine_kwargs) as sched:
+        futs = [sched.request(s, seed=k) for s, k in jobs]
+        prints = [f.result().fingerprint for f in futs]
+        assert sched.stats.segments_run == len(jobs)
+    with MDSegmentGenerator(states, pot, nsteps=6, seed=7,
+                            **engine_kwargs) as gen:
+        expected = [gen.generate(s, seed=k).fingerprint for s, k in jobs]
+    assert prints == expected
